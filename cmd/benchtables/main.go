@@ -1,0 +1,93 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section — Tables 1a/1b through 8 and Figure 3 — on the
+// simulated Cell Broadband Engine, printing simulated versus published
+// values. With -markdown it emits the measurement section consumed by
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"raxmlcell/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtables: ")
+
+	var (
+		markdown = flag.Bool("markdown", false, "emit Markdown tables")
+		out      = flag.String("out", "", "write to file instead of stdout")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	exps, err := bench.All(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	crossover, err := bench.SchedulerCrossover(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !*markdown {
+		for _, e := range exps {
+			fmt.Fprintln(w, e.Format())
+		}
+		fmt.Fprintln(w, "contribution3 — two vs three layers of parallelism (seconds)")
+		fmt.Fprintf(w, "  %10s %10s %10s %10s\n", "searches", "EDTLP", "LLP", "MGPS")
+		for _, p := range crossover {
+			fmt.Fprintf(w, "  %10d %10.2f %10.2f %10.2f\n", p.Searches, p.EDTLP, p.LLP, p.MGPS)
+		}
+		return
+	}
+
+	defer func() {
+		fmt.Fprintln(w, "### contribution3 — two vs three layers of parallelism")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "| searches | EDTLP (s) | LLP (s) | MGPS (s) |")
+		fmt.Fprintln(w, "|---:|---:|---:|---:|")
+		for _, p := range crossover {
+			fmt.Fprintf(w, "| %d | %.2f | %.2f | %.2f |\n", p.Searches, p.EDTLP, p.LLP, p.MGPS)
+		}
+	}()
+	for _, e := range exps {
+		fmt.Fprintf(w, "### %s — %s\n\n", e.ID, e.Title)
+		hasPaper := false
+		for _, r := range e.Rows {
+			if r.Paper > 0 {
+				hasPaper = true
+			}
+		}
+		if hasPaper {
+			fmt.Fprintln(w, "| configuration | simulated (s) | paper (s) | deviation |")
+			fmt.Fprintln(w, "|---|---:|---:|---:|")
+			for _, r := range e.Rows {
+				fmt.Fprintf(w, "| %s | %.2f | %.2f | %+.1f%% |\n",
+					r.Label, r.Simulated, r.Paper, 100*r.Deviation())
+			}
+		} else {
+			fmt.Fprintln(w, "| series | simulated (s) |")
+			fmt.Fprintln(w, "|---|---:|")
+			for _, r := range e.Rows {
+				fmt.Fprintf(w, "| %s | %.2f |\n", r.Label, r.Simulated)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

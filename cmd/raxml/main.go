@@ -1,0 +1,168 @@
+// Command raxml is the end-to-end inference tool of the reproduction: it
+// reads a DNA alignment (PHYLIP or FASTA), runs multiple maximum likelihood
+// tree searches plus non-parametric bootstrapping under GTR+Γ with the
+// master-worker runtime, and reports the best-known ML tree with bootstrap
+// support values.
+//
+// Usage:
+//
+//	raxml -in data.phy -inferences 3 -bootstraps 20 -workers 4 -out best.nwk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/core"
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/phylotree"
+	"raxmlcell/internal/search"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("raxml: ")
+
+	var (
+		in         = flag.String("in", "", "input alignment (PHYLIP or FASTA; required)")
+		inferences = flag.Int("inferences", 3, "number of independent tree searches")
+		bootstraps = flag.Int("bootstraps", 20, "number of bootstrap replicates")
+		seed       = flag.Int64("seed", 42, "master random seed")
+		workers    = flag.Int("workers", 4, "parallel workers (the MPI process count)")
+		radius     = flag.Int("radius", 5, "SPR rearrangement radius")
+		rounds     = flag.Int("rounds", 10, "maximum SPR rounds per search")
+		alpha      = flag.Float64("alpha", 0.8, "initial Gamma shape")
+		cats       = flag.Int("cats", 4, "Gamma rate categories")
+		sdkExp     = flag.Bool("sdk-exp", false, "use the SDK-style fast exp kernel")
+		intCond    = flag.Bool("int-cond", false, "use the integer-cast scaling conditional")
+		catCats    = flag.Int("cat", 0, "after the search, re-fit the tree under a CAT model with this many per-site rate categories (0 = off; RAxML default 25)")
+		optModel   = flag.Bool("opt-model", false, "fit the GTR exchangeabilities on each final tree")
+		startTree  = flag.String("start", "parsimony", "starting tree: parsimony, nj or random")
+		checkpoint = flag.String("checkpoint", "", "persist completed jobs to this file and resume from it")
+		draw       = flag.Bool("draw", false, "print an ASCII rendering of the best tree")
+		treesOut   = flag.String("trees-out", "", "write all result trees (best + bootstraps) to this NEXUS file")
+		out        = flag.String("out", "", "write the best tree (Newick) to this file")
+		verbose    = flag.Bool("v", false, "per-job log lines")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var a *alignment.Alignment
+	switch {
+	case strings.HasSuffix(*in, ".fa") || strings.HasSuffix(*in, ".fasta"):
+		a, err = alignment.ReadFasta(f)
+	case strings.HasSuffix(*in, ".nex") || strings.HasSuffix(*in, ".nexus"):
+		a, err = alignment.ReadNexus(f)
+	default:
+		a, err = alignment.ReadPhylip(f)
+	}
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pat := alignment.Compress(a)
+	fmt.Printf("alignment: %d taxa x %d sites (%d distinct patterns)\n",
+		pat.NumTaxa, pat.NumSites, pat.NumPatterns())
+
+	cfg := core.Config{
+		Inferences: *inferences,
+		Bootstraps: *bootstraps,
+		Seed:       *seed,
+		Workers:    *workers,
+		Alpha:      *alpha,
+		Cats:       *cats,
+		StartTree:  *startTree,
+		Checkpoint: *checkpoint,
+		Search: search.Options{
+			Radius: *radius, MaxRounds: *rounds,
+			SmoothPasses: 4, Epsilon: 0.01, AlphaOpt: true, ModelOpt: *optModel,
+		},
+		Kernel: likelihood.Config{SDKExp: *sdkExp, IntCond: *intCond},
+	}
+	analysis, err := core.Analyze(pat, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *verbose {
+		for _, r := range analysis.Results {
+			fmt.Printf("  %-9v #%-3d logL=%.4f alpha=%.3f\n",
+				r.Job.Kind, r.Job.Index, r.LogL, r.Alpha)
+		}
+	}
+	fmt.Printf("best ML tree: logL=%.4f alpha=%.3f\n", analysis.BestLogL, analysis.Alpha)
+	if *bootstraps > 0 {
+		vals := make([]float64, 0, len(analysis.Support))
+		for _, v := range analysis.Support {
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		mean := 0.0
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		fmt.Printf("bootstrap support over %d internal branches: mean %.2f, min %.2f, max %.2f\n",
+			len(vals), mean, vals[0], vals[len(vals)-1])
+	}
+	fmt.Printf("kernel profile: %s\n", analysis.Meter.String())
+
+	if *catCats > 1 {
+		catCfg := cfg
+		catCfg.Seed = *seed
+		res, catLL, _, err := core.InferCAT(pat, catCfg, *catCats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("CAT-%d re-fit: logL=%.4f (Gamma search logL was %.4f)\n", *catCats, catLL, res.LogL)
+	}
+
+	if *draw {
+		fmt.Println(analysis.Best.Ascii())
+	}
+
+	if *treesOut != "" {
+		trees := []phylotree.NamedTree{{Name: "best", Tree: analysis.Best}}
+		for _, r := range analysis.Results {
+			tr, err := phylotree.ParseNewick(r.Newick)
+			if err != nil {
+				log.Fatal(err)
+			}
+			trees = append(trees, phylotree.NamedTree{
+				Name: fmt.Sprintf("%v_%d", r.Job.Kind, r.Job.Index),
+				Tree: tr,
+			})
+		}
+		tf, err := os.Create(*treesOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := phylotree.WriteNexusTrees(tf, trees); err != nil {
+			log.Fatal(err)
+		}
+		tf.Close()
+		fmt.Printf("%d trees written to %s\n", len(trees), *treesOut)
+	}
+
+	newick := analysis.Best.Newick()
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(newick+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tree written to %s\n", *out)
+	} else {
+		fmt.Println(newick)
+	}
+}

@@ -1,0 +1,79 @@
+// Command seqgen generates synthetic DNA alignments by simulating sequence
+// evolution along a random tree under a GTR+Γ model — the stand-in for the
+// paper's 42_SC benchmark input (42 taxa x 1167 nucleotides, ~250 distinct
+// site patterns).
+//
+// Usage:
+//
+//	seqgen -taxa 42 -sites 1167 -seed 1 -out 42sc.phy -tree-out 42sc.nwk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/seqsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seqgen: ")
+
+	var (
+		taxa      = flag.Int("taxa", 42, "number of taxa")
+		sites     = flag.Int("sites", 1167, "alignment length")
+		seed      = flag.Int64("seed", 1, "random seed")
+		mb        = flag.Float64("mean-branch", 0.02, "mean branch length (substitutions/site)")
+		alpha     = flag.Float64("alpha", 0.8, "Gamma shape for rate heterogeneity")
+		invariant = flag.Float64("invariant", 0.60, "fraction of invariant sites")
+		gaps      = flag.Float64("gaps", 0, "fraction of characters replaced by gaps")
+		format    = flag.String("format", "phylip", "output format: phylip or fasta")
+		out       = flag.String("out", "", "alignment output file (default stdout)")
+		treeOut   = flag.String("tree-out", "", "write the true tree (Newick) to this file")
+	)
+	flag.Parse()
+
+	params := seqsim.Params{
+		Taxa: *taxa, Sites: *sites, MeanBranch: *mb, Alpha: *alpha,
+		GapFraction: *gaps, InvariantFraction: *invariant,
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	a, tree, err := seqsim.Generate(params, seqsim.DefaultModel(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "phylip":
+		err = alignment.WritePhylip(w, a)
+	case "fasta":
+		err = alignment.WriteFasta(w, a)
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *treeOut != "" {
+		if err := os.WriteFile(*treeOut, []byte(tree.Newick()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pat := alignment.Compress(a)
+	fmt.Fprintf(os.Stderr, "seqgen: %d taxa x %d sites, %d distinct patterns\n",
+		a.NumTaxa(), a.NumSites(), pat.NumPatterns())
+}

@@ -1,0 +1,142 @@
+// Command treetool is the tree-manipulation utility of the suite: compare
+// trees (Robinson-Foulds and branch-score distances), build majority-rule
+// consensus trees from a set of replicates, and render trees as ASCII.
+//
+// Usage:
+//
+//	treetool rf a.nwk b.nwk
+//	treetool consensus -threshold 0.5 trees.nex
+//	treetool draw best.nwk
+//
+// Tree files may be plain Newick (one tree per line) or NEXUS TREES blocks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"raxmlcell/internal/phylotree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("treetool: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "rf":
+		cmdRF(os.Args[2:])
+	case "consensus":
+		cmdConsensus(os.Args[2:])
+	case "draw":
+		cmdDraw(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: treetool rf <a> <b> | consensus [-threshold 0.5] <trees> | draw <tree>")
+	os.Exit(2)
+}
+
+// readTrees loads trees from a Newick or NEXUS file.
+func readTrees(path string) ([]phylotree.NamedTree, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := strings.TrimSpace(string(raw))
+	if strings.HasPrefix(strings.ToUpper(text), "#NEXUS") {
+		return phylotree.ReadNexusTrees(strings.NewReader(text))
+	}
+	var out []phylotree.NamedTree
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		tr, err := phylotree.ParseNewick(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, i+1, err)
+		}
+		out = append(out, phylotree.NamedTree{Name: fmt.Sprintf("tree_%d", len(out)), Tree: tr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no trees", path)
+	}
+	return out, nil
+}
+
+func cmdRF(args []string) {
+	if len(args) != 2 {
+		usage()
+	}
+	ta, err := readTrees(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb, err := readTrees(args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, b := ta[0].Tree, tb[0].Tree
+	if err := b.AlignTaxa(a.Taxa); err != nil {
+		log.Fatal(err)
+	}
+	rf, err := phylotree.RobinsonFoulds(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bsd, err := phylotree.BranchScoreDistance(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxRF := 2 * (a.NumTips() - 3)
+	fmt.Printf("robinson-foulds: %d (max %d, normalized %.3f)\n", rf, maxRF, float64(rf)/float64(maxRF))
+	fmt.Printf("branch-score:    %.6f\n", bsd)
+}
+
+func cmdConsensus(args []string) {
+	fs := flag.NewFlagSet("consensus", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.5, "majority threshold in [0.5, 1)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	named, err := readTrees(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trees := make([]*phylotree.Tree, len(named))
+	taxa := named[0].Tree.Taxa
+	for i, nt := range named {
+		if err := nt.Tree.AlignTaxa(taxa); err != nil {
+			log.Fatalf("tree %s: %v", nt.Name, err)
+		}
+		trees[i] = nt.Tree
+	}
+	cons, err := phylotree.MajorityRuleConsensus(trees, *threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d trees, %d majority clades\n", len(trees), cons.CountClades())
+	fmt.Println(cons.Newick())
+}
+
+func cmdDraw(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	named, err := readTrees(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nt := range named {
+		fmt.Printf("%s:\n%s\n", nt.Name, nt.Tree.Ascii())
+	}
+}

@@ -1,0 +1,24 @@
+// Package raxmlcell is a from-scratch Go reproduction of "RAxML-Cell:
+// Parallel Phylogenetic Tree Inference on the Cell Broadband Engine"
+// (Blagojevic, Stamatakis, Antonopoulos, Nikolopoulos — IPPS 2007).
+//
+// The repository contains two cooperating systems:
+//
+//   - A real maximum-likelihood phylogenetic inference engine (RAxML's
+//     algorithmic core): GTR+Γ likelihood kernels (newview, makenewz,
+//     evaluate) with numerical scaling, randomized stepwise-addition
+//     parsimony starting trees, lazy-SPR hill climbing, non-parametric
+//     bootstrapping, and a master-worker runtime. See internal/core for the
+//     top-level API and examples/ for runnable programs.
+//
+//   - A discrete-event simulator of the Cell Broadband Engine (PPE, eight
+//     SPEs with 256 KB local stores, MFC DMA, EIB, mailboxes) plus the
+//     paper's port runtime: seven staged optimizations and the
+//     EDTLP/LLP/MGPS schedulers, reproducing Tables 1-8 and Figure 3 of the
+//     paper's evaluation. See internal/cell, internal/cellrt and
+//     internal/bench; cmd/benchtables regenerates every table.
+//
+// The root package holds the repository-level benchmarks (bench_test.go),
+// one per published table and figure, plus ablation benchmarks for the
+// design choices called out in DESIGN.md.
+package raxmlcell

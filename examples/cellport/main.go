@@ -1,0 +1,82 @@
+// Cellport: walks the paper's entire optimization story on the simulated
+// Cell Broadband Engine — from the PPE-only baseline (Table 1a), through the
+// naive SPE offload that *slows the program down* (Table 1b), each of the
+// five SPE-side optimizations (Tables 2-6), full three-function offloading
+// (Table 7), the MGPS dynamic scheduler (Table 8), and finally the Figure 3
+// platform comparison against IBM Power5 and Intel Xeon.
+//
+//	go run ./examples/cellport
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"raxmlcell/internal/bench"
+	"raxmlcell/internal/cellrt"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := bench.DefaultConfig()
+	fmt.Println("RAxML on the Cell Broadband Engine: the 42_SC workload, step by step")
+	fmt.Println("(simulated 3.2 GHz dual-thread PPE + 8 SPEs; paper values alongside)")
+	fmt.Println()
+
+	var prev float64
+	for stage := cellrt.StagePPEOnly; stage < cellrt.NumStages; stage++ {
+		exp, err := bench.StageTable(cfg, stage)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := exp.Rows[0].Simulated // 1 worker, 1 bootstrap
+		delta := ""
+		if prev > 0 {
+			delta = fmt.Sprintf("  (%+.0f%% vs previous stage)", 100*(t/prev-1))
+		}
+		fmt.Printf("%-14s %-48s %7.2fs%s\n", exp.ID+":", exp.Title, t, delta)
+		prev = t
+	}
+
+	t8, err := bench.MGPSTable(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %-48s %7.2fs  (%+.0f%% vs previous stage)\n",
+		"table8:", t8.Title+" (1 bootstrap)", t8.Rows[0].Simulated,
+		100*(t8.Rows[0].Simulated/prev-1))
+
+	fmt.Println()
+	fmt.Println("the headline claims:")
+	naive, err := bench.StageTable(cfg, cellrt.StageNaiveOffload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ppe, err := bench.StageTable(cfg, cellrt.StagePPEOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := bench.StageTable(cfg, cellrt.StageAllOffloaded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  naive offload is %.1fx SLOWER than the PPE alone (merely offloading is not enough)\n",
+		naive.Rows[0].Simulated/ppe.Rows[0].Simulated)
+	fmt.Printf("  the tuned port is %.0f%% faster than the PPE alone (paper: 25%%)\n",
+		100*(1-full.Rows[0].Simulated/ppe.Rows[0].Simulated))
+	fmt.Printf("  naive -> MGPS is a %.1fx improvement (paper: \"more than a factor of five\")\n",
+		naive.Rows[0].Simulated/t8.Rows[0].Simulated)
+
+	fmt.Println()
+	fmt.Println("figure 3 — execution time vs number of bootstraps:")
+	fmt.Printf("  %10s %12s %12s %12s %14s\n", "bootstraps", "Cell (MGPS)", "Power5", "Xeon x2", "Xeon/Cell")
+	pts, err := bench.Figure3(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("  %10d %11.1fs %11.1fs %11.1fs %13.2fx\n",
+			p.Bootstraps, p.Cell, p.Power5, p.Xeon, p.Xeon/p.Cell)
+	}
+}

@@ -1,0 +1,3 @@
+module raxmlcell
+
+go 1.24

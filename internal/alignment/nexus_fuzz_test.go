@@ -1,0 +1,41 @@
+package alignment
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestReadNexusNeverPanics: arbitrary and token-soup input must never panic.
+func TestReadNexusNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		a, err := ReadNexus(strings.NewReader("#NEXUS\n" + string(raw)))
+		if err == nil && a != nil {
+			return a.NumTaxa() > 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	tokens := []string{"BEGIN DATA;", "MATRIX", ";", "END;", "DIMENSIONS",
+		"NTAX=3", "NCHAR=4", "FORMAT", "DATATYPE=DNA", "a ACGT", "'q t' ACGT",
+		"[comment]", "[unclosed", "MISSING=?", "GAP=-", "\n"}
+	g := func(seed int64, n uint8) bool {
+		var b strings.Builder
+		b.WriteString("#NEXUS\n")
+		x := seed
+		for i := 0; i < int(n)%40; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			idx := int(uint64(x)>>33) % len(tokens)
+			b.WriteString(tokens[idx])
+			b.WriteByte('\n')
+		}
+		_, err := ReadNexus(strings.NewReader(b.String()))
+		_ = err
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

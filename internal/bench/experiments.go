@@ -1,0 +1,298 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation: Tables 1a/1b through 8 (the staged optimization of RAxML on
+// the simulated Cell) and Figure 3 (Cell versus IBM Power5 and Intel Xeon).
+// Each Experiment prints the same rows the paper reports, side by side with
+// the published values, and checks the qualitative shape criteria listed in
+// DESIGN.md.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"raxmlcell/internal/cell"
+	"raxmlcell/internal/cellrt"
+	"raxmlcell/internal/platform"
+	"raxmlcell/internal/workload"
+)
+
+// Row is one line of a reproduced table.
+type Row struct {
+	Label     string
+	Simulated float64 // seconds
+	Paper     float64 // seconds; 0 when the paper gives no tabulated number
+}
+
+// Deviation returns the relative difference to the paper value.
+func (r Row) Deviation() float64 {
+	if r.Paper == 0 {
+		return 0
+	}
+	return (r.Simulated - r.Paper) / r.Paper
+}
+
+// Experiment is one reproduced table or figure.
+type Experiment struct {
+	ID    string // "table1a" ... "table8", "figure3"
+	Title string
+	Rows  []Row
+}
+
+// Format renders the experiment in the paper's row layout.
+func (e *Experiment) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", e.ID, e.Title)
+	for _, r := range e.Rows {
+		if r.Paper > 0 {
+			fmt.Fprintf(&b, "  %-36s %9.2fs   (paper: %8.2fs, %+5.1f%%)\n",
+				r.Label, r.Simulated, r.Paper, 100*r.Deviation())
+		} else {
+			fmt.Fprintf(&b, "  %-36s %9.2fs\n", r.Label, r.Simulated)
+		}
+	}
+	return b.String()
+}
+
+// PaperStageTimes holds the published Tables 1a-7 (seconds) over the rows
+// (1 worker, 1 bootstrap), (2, 8), (2, 16), (2, 32).
+var PaperStageTimes = map[cellrt.Stage][4]float64{
+	cellrt.StagePPEOnly:      {36.9, 207.67, 427.95, 824},
+	cellrt.StageNaiveOffload: {106.37, 459.16, 915.75, 1836.6},
+	cellrt.StageSDKExp:       {62.8, 285.25, 572.92, 1138.5},
+	cellrt.StageVectorCond:   {49.3, 230, 460.43, 917.09},
+	cellrt.StageDoubleBuffer: {47, 220.92, 441.39, 884.47},
+	cellrt.StageVectorFP:     {40.9, 195.7, 393, 800.9},
+	cellrt.StageDirectComm:   {39.9, 180.46, 357.08, 712.2},
+	cellrt.StageAllOffloaded: {27.7, 112.41, 224.69, 444.87},
+}
+
+// PaperMGPSTimes is Table 8 (seconds) at 1, 8, 16 and 32 bootstraps.
+var PaperMGPSTimes = [4]float64{17.6, 42.18, 84.21, 167.57}
+
+// stageTableIDs maps stages to the paper's table numbers.
+var stageTableIDs = map[cellrt.Stage]string{
+	cellrt.StagePPEOnly:      "table1a",
+	cellrt.StageNaiveOffload: "table1b",
+	cellrt.StageSDKExp:       "table2",
+	cellrt.StageVectorCond:   "table3",
+	cellrt.StageDoubleBuffer: "table4",
+	cellrt.StageVectorFP:     "table5",
+	cellrt.StageDirectComm:   "table6",
+	cellrt.StageAllOffloaded: "table7",
+}
+
+var stageTableTitles = map[cellrt.Stage]string{
+	cellrt.StagePPEOnly:      "Whole application on the PPE",
+	cellrt.StageNaiveOffload: "newview() offloaded naively to one SPE",
+	cellrt.StageSDKExp:       "+ SDK numerical exp()",
+	cellrt.StageVectorCond:   "+ casted and vectorized conditionals",
+	cellrt.StageDoubleBuffer: "+ double buffering of DMA transfers",
+	cellrt.StageVectorFP:     "+ vectorized floating point loops",
+	cellrt.StageDirectComm:   "+ direct memory-to-memory communication",
+	cellrt.StageAllOffloaded: "newview(), makenewz() and evaluate() offloaded",
+}
+
+var tableGrid = [4]struct {
+	workers, bootstraps int
+}{
+	{1, 1}, {2, 8}, {2, 16}, {2, 32},
+}
+
+// Config bundles the simulation inputs shared by all experiments.
+type Config struct {
+	Profile workload.Profile
+	Cost    cell.CostModel
+	Params  cell.Params
+}
+
+// DefaultConfig uses the 42_SC workload on the paper's blade configuration.
+func DefaultConfig() Config {
+	return Config{
+		Profile: workload.Profile42SC(),
+		Cost:    cell.DefaultCostModel(),
+		Params:  cell.DefaultParams(),
+	}
+}
+
+// StageTable reproduces one of Tables 1a-7.
+func StageTable(cfg Config, stage cellrt.Stage) (*Experiment, error) {
+	exp := &Experiment{ID: stageTableIDs[stage], Title: stageTableTitles[stage]}
+	paper := PaperStageTimes[stage]
+	for i, g := range tableGrid {
+		rep, err := cellrt.Run(cfg.Profile, cfg.Cost, cfg.Params, cellrt.Config{
+			Stage:     stage,
+			Scheduler: cellrt.SchedNaive,
+			Workers:   g.workers,
+			Searches:  g.bootstraps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		exp.Rows = append(exp.Rows, Row{
+			Label:     fmt.Sprintf("%d worker(s), %d bootstrap(s)", g.workers, g.bootstraps),
+			Simulated: rep.Seconds,
+			Paper:     paper[i],
+		})
+	}
+	return exp, nil
+}
+
+// MGPSTable reproduces Table 8 (the dynamic multi-grain scheduler).
+func MGPSTable(cfg Config) (*Experiment, error) {
+	exp := &Experiment{ID: "table8", Title: "MGPS dynamic parallelization"}
+	for i, bs := range []int{1, 8, 16, 32} {
+		rep, err := cellrt.Run(cfg.Profile, cfg.Cost, cfg.Params, cellrt.Config{
+			Stage:     cellrt.StageAllOffloaded,
+			Scheduler: cellrt.SchedMGPS,
+			Searches:  bs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		exp.Rows = append(exp.Rows, Row{
+			Label:     fmt.Sprintf("%d bootstrap(s)", bs),
+			Simulated: rep.Seconds,
+			Paper:     PaperMGPSTimes[i],
+		})
+	}
+	return exp, nil
+}
+
+// Figure3Point is one (bootstraps, platform) sample of Figure 3.
+type Figure3Point struct {
+	Bootstraps int
+	Cell       float64
+	Power5     float64
+	Xeon       float64
+}
+
+// Figure3 regenerates the platform comparison: Cell under MGPS (simulated)
+// against the analytic Power5 and Xeon models, at the paper's bootstrap
+// counts 1, 8, 16, 32, 64, 128.
+func Figure3(cfg Config) ([]Figure3Point, error) {
+	xeon, p5 := platform.Xeon2GHzPair(), platform.Power5()
+	var out []Figure3Point
+	for _, bs := range []int{1, 8, 16, 32, 64, 128} {
+		rep, err := cellrt.Run(cfg.Profile, cfg.Cost, cfg.Params, cellrt.Config{
+			Stage:     cellrt.StageAllOffloaded,
+			Scheduler: cellrt.SchedMGPS,
+			Searches:  bs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		px, err := xeon.Makespan(bs)
+		if err != nil {
+			return nil, err
+		}
+		pp, err := p5.Makespan(bs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure3Point{Bootstraps: bs, Cell: rep.Seconds, Power5: pp, Xeon: px})
+	}
+	return out, nil
+}
+
+// Figure3Experiment formats the Figure 3 series as an Experiment (one row
+// per bootstrap count and machine) for uniform reporting.
+func Figure3Experiment(cfg Config) (*Experiment, error) {
+	pts, err := Figure3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{ID: "figure3", Title: "Cell (MGPS) vs IBM Power5 vs Intel Xeon"}
+	for _, p := range pts {
+		exp.Rows = append(exp.Rows,
+			Row{Label: fmt.Sprintf("%3d bootstraps  Cell", p.Bootstraps), Simulated: p.Cell},
+			Row{Label: fmt.Sprintf("%3d bootstraps  Power5", p.Bootstraps), Simulated: p.Power5},
+			Row{Label: fmt.Sprintf("%3d bootstraps  Xeon (2 procs)", p.Bootstraps), Simulated: p.Xeon},
+		)
+	}
+	return exp, nil
+}
+
+// SchedulerCrossoverPoint is one task-parallelism degree in the
+// two-vs-three-layers comparison of the paper's Contribution III.
+type SchedulerCrossoverPoint struct {
+	Searches int
+	EDTLP    float64 // two layers: task-level + vectorization
+	LLP      float64 // three layers: + loop-level distribution
+	MGPS     float64 // dynamic hybrid
+}
+
+// SchedulerCrossover reproduces Contribution III: "two layers of
+// parallelism being more beneficial for large and realistic workloads and
+// three layers ... for workloads with a low degree (<= 4) of task-level
+// parallelism". It sweeps the number of concurrent tree searches and times
+// each scheduling model.
+func SchedulerCrossover(cfg Config) ([]SchedulerCrossoverPoint, error) {
+	var out []SchedulerCrossoverPoint
+	for _, searches := range []int{1, 2, 4, 8, 16, 32} {
+		run := func(s cellrt.Scheduler, workers int) (float64, error) {
+			rep, err := cellrt.Run(cfg.Profile, cfg.Cost, cfg.Params, cellrt.Config{
+				Stage:     cellrt.StageAllOffloaded,
+				Scheduler: s,
+				Workers:   workers,
+				Searches:  searches,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return rep.Seconds, nil
+		}
+		edtlpWorkers := cfg.Params.NumSPE
+		if searches < edtlpWorkers {
+			edtlpWorkers = searches
+		}
+		llpWorkers := searches
+		if max := cfg.Params.NumSPE / 2; llpWorkers > max {
+			llpWorkers = max
+		}
+		e, err := run(cellrt.SchedEDTLP, edtlpWorkers)
+		if err != nil {
+			return nil, err
+		}
+		l, err := run(cellrt.SchedLLP, llpWorkers)
+		if err != nil {
+			return nil, err
+		}
+		m, err := run(cellrt.SchedMGPS, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SchedulerCrossoverPoint{Searches: searches, EDTLP: e, LLP: l, MGPS: m})
+	}
+	return out, nil
+}
+
+// AllStages runs every staged table in order.
+func AllStages(cfg Config) ([]*Experiment, error) {
+	var out []*Experiment
+	for stage := cellrt.StagePPEOnly; stage < cellrt.NumStages; stage++ {
+		exp, err := StageTable(cfg, stage)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, exp)
+	}
+	return out, nil
+}
+
+// All reproduces the complete evaluation: Tables 1a-8 plus Figure 3.
+func All(cfg Config) ([]*Experiment, error) {
+	out, err := AllStages(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t8, err := MGPSTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t8)
+	f3, err := Figure3Experiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, f3), nil
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"raxmlcell/internal/cellrt"
+)
+
+func TestStageTableAgainstPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	for stage := cellrt.StagePPEOnly; stage < cellrt.NumStages; stage++ {
+		exp, err := StageTable(cfg, stage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exp.Rows) != 4 {
+			t.Fatalf("%s: %d rows", exp.ID, len(exp.Rows))
+		}
+		for _, r := range exp.Rows {
+			if dev := math.Abs(r.Deviation()); dev > 0.20 {
+				t.Errorf("%s %q: %.1f%% off paper", exp.ID, r.Label, 100*dev)
+			}
+		}
+	}
+}
+
+func TestMGPSTableAgainstPaper(t *testing.T) {
+	exp, err := MGPSTable(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range exp.Rows {
+		if dev := math.Abs(r.Deviation()); dev > 0.20 {
+			t.Errorf("table8 %q: %.1f%% off paper", r.Label, 100*dev)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	// The published claims: Cell beats Power5 by ~9-10% and the Xeon pair
+	// by more than a factor of two, at every bootstrap count.
+	pts, err := Figure3(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Cell >= p.Power5 {
+			t.Errorf("bs=%d: Cell (%.1fs) not faster than Power5 (%.1fs)", p.Bootstraps, p.Cell, p.Power5)
+		}
+		if r := p.Xeon / p.Cell; r < 2 {
+			t.Errorf("bs=%d: Xeon/Cell = %.2f, paper says > 2", p.Bootstraps, r)
+		}
+		if r := p.Power5 / p.Cell; r > 1.35 {
+			t.Errorf("bs=%d: Power5/Cell = %.2f, paper says ~1.09-1.10", p.Bootstraps, r)
+		}
+	}
+	// Aggregate Power5 margin near the published 9-10%.
+	sumC, sumP := 0.0, 0.0
+	for _, p := range pts {
+		sumC += p.Cell
+		sumP += p.Power5
+	}
+	if margin := sumP/sumC - 1; margin < 0.03 || margin > 0.30 {
+		t.Errorf("aggregate Power5 margin = %.1f%%, paper ~9-10%%", 100*margin)
+	}
+	// Monotone growth in bootstraps.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cell < pts[i-1].Cell {
+			t.Error("Cell series not monotone")
+		}
+	}
+}
+
+func TestFactorOfFiveClaim(t *testing.T) {
+	// Conclusions: "we were able to boost performance on Cell by more than
+	// a factor of five" — naive offloaded port versus MGPS at scale.
+	cfg := DefaultConfig()
+	naive, err := StageTable(cfg, cellrt.StageNaiveOffload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgps, err := MGPSTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the 1-bootstrap cells.
+	ratio := naive.Rows[0].Simulated / mgps.Rows[0].Simulated
+	if ratio < 5 {
+		t.Errorf("naive/MGPS = %.2fx, paper claims > 5x", ratio)
+	}
+}
+
+func TestSchedulerCrossoverClaim(t *testing.T) {
+	// Contribution III: three layers of parallelism (LLP) win at low
+	// task-level parallelism (<= 4 searches), two layers (EDTLP) win at
+	// scale, and the dynamic MGPS tracks the better of the two everywhere.
+	pts, err := SchedulerCrossover(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		best := math.Min(p.EDTLP, p.LLP)
+		switch {
+		case p.Searches <= 2:
+			if p.LLP >= p.EDTLP {
+				t.Errorf("searches=%d: LLP (%.1fs) not better than EDTLP (%.1fs)", p.Searches, p.LLP, p.EDTLP)
+			}
+		case p.Searches >= 8:
+			if p.EDTLP >= p.LLP {
+				t.Errorf("searches=%d: EDTLP (%.1fs) not better than LLP (%.1fs)", p.Searches, p.EDTLP, p.LLP)
+			}
+		}
+		// MGPS pays dynamic-scheduling overhead (switch-on-offload) that an
+		// idealized static schedule avoids, so it may trail the better
+		// static model somewhat — but it must always clearly beat the
+		// *wrong* static choice, which is its reason to exist.
+		worst := math.Max(p.EDTLP, p.LLP)
+		if p.MGPS > best*1.45 {
+			t.Errorf("searches=%d: MGPS (%.1fs) far off the better static model (%.1fs)",
+				p.Searches, p.MGPS, best)
+		}
+		if worst > best*1.2 && p.MGPS > worst*0.95 {
+			t.Errorf("searches=%d: MGPS (%.1fs) no better than the wrong static choice (%.1fs)",
+				p.Searches, p.MGPS, worst)
+		}
+	}
+}
+
+func TestFormatAndAll(t *testing.T) {
+	cfg := DefaultConfig()
+	exps, err := All(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 10 { // 8 stage tables + table8 + figure3
+		t.Fatalf("%d experiments", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		ids[e.ID] = true
+		s := e.Format()
+		if !strings.Contains(s, e.ID) || !strings.Contains(s, "s") {
+			t.Errorf("format of %s malformed:\n%s", e.ID, s)
+		}
+	}
+	for _, want := range []string{"table1a", "table1b", "table2", "table3", "table4",
+		"table5", "table6", "table7", "table8", "figure3"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}

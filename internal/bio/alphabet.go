@@ -1,0 +1,128 @@
+// Package bio provides the biological sequence primitives used throughout
+// the RAxML-Cell reproduction: the DNA alphabet, IUPAC ambiguity codes, the
+// 4-bit state encoding used by the likelihood and parsimony kernels, and a
+// sequence container.
+//
+// The encoding follows RAxML: each nucleotide character maps to a 4-bit mask
+// with one bit per base (A=1, C=2, G=4, T=8). Ambiguity codes set several
+// bits; a gap or unknown character sets all four. The likelihood kernels use
+// the mask to build tip likelihood vectors (bit set => conditional
+// probability 1), and the parsimony kernel uses it directly as a Fitch state
+// set.
+package bio
+
+import "fmt"
+
+// NumStates is the number of character states for DNA data.
+const NumStates = 4
+
+// Base bit masks for the 4-bit state encoding.
+const (
+	BitA byte = 1 << iota
+	BitC
+	BitG
+	BitT
+)
+
+// Gap is the 4-bit code of a gap/unknown character: all states possible.
+const Gap byte = BitA | BitC | BitG | BitT
+
+// code4 maps an upper-case byte to its 4-bit state mask, or 0 if invalid.
+var code4 = [256]byte{
+	'A': BitA,
+	'C': BitC,
+	'G': BitG,
+	'T': BitT,
+	'U': BitT, // RNA uracil treated as T
+	'M': BitA | BitC,
+	'R': BitA | BitG,
+	'W': BitA | BitT,
+	'S': BitC | BitG,
+	'Y': BitC | BitT,
+	'K': BitG | BitT,
+	'V': BitA | BitC | BitG,
+	'H': BitA | BitC | BitT,
+	'D': BitA | BitG | BitT,
+	'B': BitC | BitG | BitT,
+	'N': Gap,
+	'X': Gap,
+	'?': Gap,
+	'-': Gap,
+	'O': Gap,
+}
+
+// char4 maps a 4-bit state mask back to its canonical IUPAC character.
+var char4 = [16]byte{
+	0:  '?',
+	1:  'A',
+	2:  'C',
+	3:  'M',
+	4:  'G',
+	5:  'R',
+	6:  'S',
+	7:  'V',
+	8:  'T',
+	9:  'W',
+	10: 'Y',
+	11: 'H',
+	12: 'K',
+	13: 'D',
+	14: 'B',
+	15: '-',
+}
+
+// Encode returns the 4-bit state mask for a nucleotide character
+// (case-insensitive). It reports an error for characters outside the IUPAC
+// DNA alphabet.
+func Encode(c byte) (byte, error) {
+	u := c
+	if u >= 'a' && u <= 'z' {
+		u -= 'a' - 'A'
+	}
+	m := code4[u]
+	if m == 0 {
+		return 0, fmt.Errorf("bio: invalid nucleotide character %q", c)
+	}
+	return m, nil
+}
+
+// MustEncode is Encode for known-valid input; it panics on invalid bytes.
+func MustEncode(c byte) byte {
+	m, err := Encode(c)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Decode returns the canonical IUPAC character for a 4-bit state mask.
+func Decode(mask byte) byte {
+	return char4[mask&0x0f]
+}
+
+// IsAmbiguous reports whether the mask represents more than one base.
+func IsAmbiguous(mask byte) bool {
+	m := mask & 0x0f
+	return m&(m-1) != 0
+}
+
+// StateIndex returns the 0..3 index (A,C,G,T) of an unambiguous mask and ok
+// false for ambiguous or empty masks.
+func StateIndex(mask byte) (int, bool) {
+	switch mask & 0x0f {
+	case BitA:
+		return 0, true
+	case BitC:
+		return 1, true
+	case BitG:
+		return 2, true
+	case BitT:
+		return 3, true
+	}
+	return 0, false
+}
+
+// BaseChar returns the character for state index 0..3.
+func BaseChar(i int) byte {
+	return [NumStates]byte{'A', 'C', 'G', 'T'}[i]
+}

@@ -1,0 +1,102 @@
+package cell
+
+// CostModel holds per-operation cycle costs for the SPE and PPE execution
+// of the likelihood kernels. The values are calibrated from the paper's own
+// measurements rather than invented:
+//
+//   - SPE double precision is partially pipelined (2 ops issued per 6
+//     cycles); with dependency stalls the scalar code averages ~6
+//     cycles/flop, and the 2-lane spu_madd vector code roughly halves the
+//     instruction count (the paper reports the loop bodies dropping from
+//     36->24 and 44->22 instructions, and measures the two loops going from
+//     19.57 s to 11.48 s — a 1.7x).
+//   - libm exp() on the SPE costs thousands of cycles (software double
+//     precision without branch prediction); the paper measures exp() at 50%
+//     of total SPE time for ~150 calls among 25,554 flops, and a 37-41%
+//     total-time reduction from switching to the SDK exp() — implying ~4,000
+//     cycles per libm call versus ~100 for the SDK version.
+//   - The 8-condition scaling if() costs ~45% of newview() scalar
+//     (double-precision comparisons are emulated and every condition is a
+//     hard-to-predict branch at ~20 cycles per mispredict); the integer-cast
+//     vectorized version reduces its share to 6%.
+//   - PPE<->SPE mailbox signalling costs tens of microseconds per offload
+//     round trip (MMIO plus busy-wait polling); direct memory-to-memory
+//     signalling cuts it by an order of magnitude (the paper: 2-11%).
+type CostModel struct {
+	// SPE kernel costs (cycles).
+	SPEFlopScalar     float64 // per DP flop in scalar code
+	SPEFlopVector     float64 // per DP flop in vectorized code
+	SPEVectorOverhead float64 // per big-loop iteration: splat/shuffle insns
+	SPEExpLibm        float64 // per libm exp() call
+	SPEExpSDK         float64 // per SDK exp() call
+	SPELog            float64 // per log() call
+	SPECondScalar     float64 // per scaling check, scalar float compares
+	SPECondVector     float64 // per scaling check, integer-cast vectorized
+	SPEScaleBody      float64 // per taken scaling branch (the rare body)
+
+	// PPE kernel costs (cycles). The PPE is a conventional out-of-order-ish
+	// core with caches and a branch predictor: flops are cheap, exp/log are
+	// library calls, the scaling conditional mostly predicts well.
+	PPEFlop float64
+	PPEExp  float64
+	PPELog  float64
+	PPECond float64
+
+	// SMT contention: running 2 processes on the PPE's two hardware threads
+	// slows each by this factor (Table 1a: 207.67 s for 2x4 bootstraps
+	// versus 36.9 s for 1x1 gives 207.67/(36.9*4) = 1.41).
+	PPESMTFactor float64
+
+	// Communication (cycles per offload round trip: signal + completion).
+	MailboxRoundTrip float64
+	DirectRoundTrip  float64
+
+	// Memory system for strip-mined likelihood-vector streaming.
+	MemBytesPerCycle float64 // XDR memory: 25.6 GB/s at 3.2 GHz = 8 B/cycle
+	DMABatchStartup  float64 // per strip-mine batch request
+
+	// EDTLP context switch on the PPE (switch-on-offload).
+	ContextSwitch float64
+
+	// LLPBarrier is the per-episode cost of distributing a loop across SPEs
+	// and collecting the results (charged once per extra SPE per episode).
+	LLPBarrier float64
+}
+
+// DefaultCostModel returns the calibrated model. The constants are fitted
+// against the stage deltas of Tables 1-7 for the 1-worker/1-bootstrap
+// column (see EXPERIMENTS.md): e.g. the libm-vs-SDK exp difference follows
+// from Table 1b->2 (605k cycles saved per newview over 150 exp calls), the
+// conditional costs from Table 2->3, the DMA batch cost from Table 3->4,
+// the scalar/vector flop costs from Table 4->5 together with the paper's
+// measured 19.57s->11.48s loop time, and the signalling costs from Table
+// 5->6.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SPEFlopScalar:     6.0,
+		SPEFlopVector:     2.46,
+		SPEVectorOverhead: 25.0, // the paper counts 25 added vector-construction insns
+		SPEExpLibm:        4100,
+		SPEExpSDK:         67,
+		SPELog:            220,
+		SPECondScalar:     878,
+		SPECondVector:     56,
+		SPEScaleBody:      120,
+
+		PPEFlop: 9.5, // in-order core, small L2: likelihood code is memory-bound
+		PPEExp:  180,
+		PPELog:  80,
+		PPECond: 35,
+
+		PPESMTFactor: 1.41, // Table 1a: 207.67 / (4 x 36.9)
+
+		MailboxRoundTrip: 15500,
+		DirectRoundTrip:  1600,
+
+		MemBytesPerCycle: 8, // XDR main memory: 25.6 GB/s at 3.2 GHz
+		DMABatchStartup:  1870,
+
+		ContextSwitch: 54000,
+		LLPBarrier:    12000,
+	}
+}

@@ -1,0 +1,71 @@
+package cell
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LocalStore is the 256 KB software-managed memory of an SPE, used as a
+// unified instruction and data store. The paper's port loads a single
+// 117 KB code module with all three offloaded functions, leaving 139 KB for
+// stack, heap, buffers and the strip-mining DMA windows; this allocator
+// enforces exactly that accounting.
+type LocalStore struct {
+	size     int
+	used     int
+	segments map[string]int
+}
+
+// NewLocalStore creates an empty local store of the given size.
+func NewLocalStore(size int) *LocalStore {
+	return &LocalStore{size: size, segments: make(map[string]int)}
+}
+
+// Alloc reserves a named segment, failing when the store would overflow —
+// the constraint that forces strip-mining of the likelihood vectors and
+// forbids arbitrary function offloading.
+func (ls *LocalStore) Alloc(name string, bytes int) error {
+	if bytes <= 0 {
+		return fmt.Errorf("cell: allocation %q of %d bytes", name, bytes)
+	}
+	if _, exists := ls.segments[name]; exists {
+		return fmt.Errorf("cell: segment %q already allocated", name)
+	}
+	if ls.used+bytes > ls.size {
+		return fmt.Errorf("cell: local store overflow: %q needs %d bytes, %d free of %d",
+			name, bytes, ls.size-ls.used, ls.size)
+	}
+	ls.segments[name] = bytes
+	ls.used += bytes
+	return nil
+}
+
+// Free releases a named segment.
+func (ls *LocalStore) Free(name string) error {
+	bytes, ok := ls.segments[name]
+	if !ok {
+		return fmt.Errorf("cell: segment %q not allocated", name)
+	}
+	delete(ls.segments, name)
+	ls.used -= bytes
+	return nil
+}
+
+// Used reports the allocated byte count.
+func (ls *LocalStore) Used() int { return ls.used }
+
+// Free bytes remaining.
+func (ls *LocalStore) Available() int { return ls.size - ls.used }
+
+// Size is the total capacity.
+func (ls *LocalStore) Size() int { return ls.size }
+
+// Segments lists allocations in name order (for diagnostics).
+func (ls *LocalStore) Segments() []string {
+	out := make([]string, 0, len(ls.segments))
+	for name, bytes := range ls.segments {
+		out = append(out, fmt.Sprintf("%s:%d", name, bytes))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,145 @@
+package cellrt
+
+import (
+	"fmt"
+	"testing"
+
+	"raxmlcell/internal/cell"
+	"raxmlcell/internal/workload"
+)
+
+// paperTables holds the published execution times (seconds) for the 42_SC
+// input: Tables 1a through 7 are rows of (workers, bootstraps) = (1,1),
+// (2,8), (2,16), (2,32); Table 8 is MGPS at 1, 8, 16, 32 bootstraps.
+var paperStageTimes = map[Stage][4]float64{
+	StagePPEOnly:      {36.9, 207.67, 427.95, 824},
+	StageNaiveOffload: {106.37, 459.16, 915.75, 1836.6},
+	StageSDKExp:       {62.8, 285.25, 572.92, 1138.5},
+	StageVectorCond:   {49.3, 230, 460.43, 917.09},
+	StageDoubleBuffer: {47, 220.92, 441.39, 884.47},
+	StageVectorFP:     {40.9, 195.7, 393, 800.9},
+	StageDirectComm:   {39.9, 180.46, 357.08, 712.2},
+	StageAllOffloaded: {27.7, 112.41, 224.69, 444.87},
+}
+
+var paperMGPS = [4]float64{17.6, 42.18, 84.21, 167.57}
+
+var tableGrid = [4]struct{ workers, bootstraps int }{
+	{1, 1}, {2, 8}, {2, 16}, {2, 32},
+}
+
+func runStage(t *testing.T, stage Stage, workers, searches int) float64 {
+	t.Helper()
+	rep, err := Run(workload.Profile42SC(), cell.DefaultCostModel(), cell.DefaultParams(), Config{
+		Stage:     stage,
+		Scheduler: SchedNaive,
+		Workers:   workers,
+		Searches:  searches,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Seconds
+}
+
+func runMGPS(t *testing.T, searches int) float64 {
+	t.Helper()
+	rep, err := Run(workload.Profile42SC(), cell.DefaultCostModel(), cell.DefaultParams(), Config{
+		Stage:     StageAllOffloaded,
+		Scheduler: SchedMGPS,
+		Searches:  searches,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Seconds
+}
+
+// TestCalibrationReport prints the full measured-vs-paper grid; it never
+// fails, serving as the calibration instrument (tolerance enforcement lives
+// in the shape tests below).
+func TestCalibrationReport(t *testing.T) {
+	for stage := StagePPEOnly; stage < NumStages; stage++ {
+		for i, g := range tableGrid {
+			got := runStage(t, stage, g.workers, g.bootstraps)
+			want := paperStageTimes[stage][i]
+			t.Logf("%-14s %dw %2dbs: sim %8.2fs  paper %8.2fs  (%+5.1f%%)",
+				stage, g.workers, g.bootstraps, got, want, 100*(got-want)/want)
+		}
+	}
+	for i, bs := range []int{1, 8, 16, 32} {
+		got := runMGPS(t, bs)
+		want := paperMGPS[i]
+		t.Logf("%-14s    %3dbs: sim %8.2fs  paper %8.2fs  (%+5.1f%%)",
+			"mgps", bs, got, want, 100*(got-want)/want)
+	}
+}
+
+// TestStageShape enforces the qualitative structure of Tables 1-7: naive
+// offload is a big slowdown, every later stage strictly improves, and the
+// fully offloaded port beats the PPE baseline.
+func TestStageShape(t *testing.T) {
+	var times [NumStages]float64
+	for stage := StagePPEOnly; stage < NumStages; stage++ {
+		times[stage] = runStage(t, stage, 1, 1)
+	}
+	if ratio := times[StageNaiveOffload] / times[StagePPEOnly]; ratio < 2 || ratio > 4 {
+		t.Errorf("naive offload slowdown = %.2fx, paper ~2.9x", ratio)
+	}
+	for stage := StageSDKExp; stage < NumStages; stage++ {
+		if times[stage] >= times[stage-1] {
+			t.Errorf("stage %v (%.2fs) did not improve on %v (%.2fs)",
+				stage, times[stage], stage-1, times[stage-1])
+		}
+	}
+	if times[StageAllOffloaded] >= times[StagePPEOnly] {
+		t.Errorf("final port (%.2fs) does not beat PPE-only (%.2fs)",
+			times[StageAllOffloaded], times[StagePPEOnly])
+	}
+}
+
+// TestStageTolerance checks every table cell against the paper within a
+// documented tolerance band.
+func TestStageTolerance(t *testing.T) {
+	const tol = 0.20 // 20%: we reproduce shape, not the authors' silicon
+	for stage := StagePPEOnly; stage < NumStages; stage++ {
+		for i, g := range tableGrid {
+			got := runStage(t, stage, g.workers, g.bootstraps)
+			want := paperStageTimes[stage][i]
+			if rel := (got - want) / want; rel > tol || rel < -tol {
+				t.Errorf("%v %dw/%dbs: sim %.2fs vs paper %.2fs (%.1f%% off)",
+					stage, g.workers, g.bootstraps, got, want, 100*rel)
+			}
+		}
+	}
+	for i, bs := range []int{1, 8, 16, 32} {
+		got := runMGPS(t, bs)
+		want := paperMGPS[i]
+		if rel := (got - want) / want; rel > tol || rel < -tol {
+			t.Errorf("mgps %dbs: sim %.2fs vs paper %.2fs (%.1f%% off)", bs, got, want, 100*rel)
+		}
+	}
+}
+
+// TestMGPSShape checks the scheduler-level claims: MGPS beats the naive
+// final port, the one-bootstrap case gains from LLP (paper: -36%), and
+// scaling in bootstraps is roughly linear beyond one batch.
+func TestMGPSShape(t *testing.T) {
+	naive1 := runStage(t, StageAllOffloaded, 1, 1)
+	mgps1 := runMGPS(t, 1)
+	if mgps1 >= naive1 {
+		t.Errorf("MGPS 1bs (%.2fs) not faster than naive final port (%.2fs)", mgps1, naive1)
+	}
+	gain := 1 - mgps1/naive1
+	if gain < 0.2 || gain > 0.55 {
+		t.Errorf("MGPS 1-bootstrap gain = %.0f%%, paper reports 36%%", 100*gain)
+	}
+	m8, m16, m32 := runMGPS(t, 8), runMGPS(t, 16), runMGPS(t, 32)
+	if r := m16 / m8; r < 1.7 || r > 2.3 {
+		t.Errorf("16/8 bootstrap scaling = %.2f, want ~2", r)
+	}
+	if r := m32 / m16; r < 1.7 || r > 2.3 {
+		t.Errorf("32/16 bootstrap scaling = %.2f, want ~2", r)
+	}
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,347 @@
+package cellrt
+
+import (
+	"testing"
+
+	"raxmlcell/internal/cell"
+	"raxmlcell/internal/workload"
+)
+
+func TestStagePredicatesCumulative(t *testing.T) {
+	// Each optimization, once enabled, stays enabled in later stages.
+	preds := []func(Stage) bool{
+		Stage.offloadsNewview,
+		Stage.sdkExp,
+		Stage.vectorCond,
+		Stage.doubleBuffered,
+		Stage.vectorFP,
+		Stage.directComm,
+		Stage.offloadsAll,
+	}
+	for _, pred := range preds {
+		seen := false
+		for s := StagePPEOnly; s < NumStages; s++ {
+			v := pred(s)
+			if seen && !v {
+				t.Errorf("predicate turned off again at stage %v", s)
+			}
+			seen = seen || v
+		}
+		if !seen {
+			t.Error("predicate never enabled")
+		}
+	}
+	if StagePPEOnly.offloadsNewview() {
+		t.Error("PPE-only offloads")
+	}
+	if !StageAllOffloaded.offloads(workload.Makenewz) {
+		t.Error("final stage does not offload makenewz")
+	}
+	if StageDirectComm.offloads(workload.Makenewz) {
+		t.Error("pre-final stage offloads makenewz")
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	if StageNaiveOffload.String() != "naive-offload" || Stage(99).String() == "" {
+		t.Error("stage names wrong")
+	}
+	for _, s := range []Scheduler{SchedNaive, SchedEDTLP, SchedLLP, SchedMGPS, Scheduler(9)} {
+		if s.String() == "" {
+			t.Error("scheduler name empty")
+		}
+	}
+}
+
+func TestCostsForMonotonicity(t *testing.T) {
+	cm := cell.DefaultCostModel()
+	ops := workload.Profile42SC().Classes[workload.Newview].PerCall
+	base := costsFor(ops, StageNaiveOffload, cm, 2048)
+	sdk := costsFor(ops, StageSDKExp, cm, 2048)
+	cond := costsFor(ops, StageVectorCond, cm, 2048)
+	dbuf := costsFor(ops, StageDoubleBuffer, cm, 2048)
+	vec := costsFor(ops, StageVectorFP, cm, 2048)
+	comm := costsFor(ops, StageDirectComm, cm, 2048)
+
+	if !(base.speTotal() > sdk.speTotal() && sdk.speTotal() > cond.speTotal()) {
+		t.Errorf("exp/cond optimizations not monotone: %v %v %v",
+			base.speTotal(), sdk.speTotal(), cond.speTotal())
+	}
+	if dbuf.dmaWait != 0 || cond.dmaWait == 0 {
+		t.Errorf("double buffering did not absorb DMA wait: %v -> %v", cond.dmaWait, dbuf.dmaWait)
+	}
+	if vec.speTotal() >= dbuf.speTotal() {
+		t.Error("vectorization did not help")
+	}
+	if comm.comm >= vec.comm {
+		t.Error("direct comm not cheaper than mailbox")
+	}
+	// PPE cost is stage-independent.
+	if base.ppe != comm.ppe {
+		t.Error("PPE cost changed across stages")
+	}
+}
+
+func TestComputeSearchCostOffloadBoundary(t *testing.T) {
+	prof := workload.Profile42SC()
+	cm := cell.DefaultCostModel()
+	ppeOnly := computeSearchCost(&prof, StagePPEOnly, cm, nil)
+	partial := computeSearchCost(&prof, StageDirectComm, cm, nil)
+	full := computeSearchCost(&prof, StageAllOffloaded, cm, nil)
+
+	if ppeOnly.speTotal() != 0 || ppeOnly.commCycles != 0 {
+		t.Error("PPE-only stage has SPE or comm cycles")
+	}
+	if partial.ppeCycles >= ppeOnly.ppeCycles {
+		t.Error("offloading newview did not reduce PPE cycles")
+	}
+	if full.ppeCycles >= partial.ppeCycles {
+		t.Error("offloading all three did not reduce PPE cycles further")
+	}
+	if full.ppeCycles != prof.OrchestrationCycles {
+		t.Errorf("fully offloaded PPE cycles = %g, want orchestration only %g",
+			full.ppeCycles, prof.OrchestrationCycles)
+	}
+	// Nested calls reduce the communication count in the final stage.
+	if full.offloadedCalls >= partial.offloadedCalls+prof.Classes[workload.Makenewz].Count {
+		t.Error("nested newview calls still pay communication")
+	}
+}
+
+func TestOffloadSubsetProgression(t *testing.T) {
+	// Section 5.2.7: offloading makenewz and evaluate on top of newview
+	// brings further speedup; each addition must improve.
+	prof := workload.Profile42SC()
+	cm := cell.DefaultCostModel()
+	params := cell.DefaultParams()
+	run := func(set OffloadSet) float64 {
+		rep, err := Run(prof, cm, params, Config{
+			Stage: StageAllOffloaded, Scheduler: SchedNaive,
+			Workers: 1, Searches: 1, Offload: set,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Seconds
+	}
+	nvOnly := run(OffloadSet{workload.Newview: true})
+	nvMk := run(OffloadSet{workload.Newview: true, workload.Makenewz: true})
+	all := run(OffloadSet{workload.Newview: true, workload.Makenewz: true, workload.Evaluate: true})
+	def := run(nil)
+	if !(nvOnly > nvMk && nvMk > all) {
+		t.Errorf("offload progression not monotone: nv=%.2f nv+mk=%.2f all=%.2f", nvOnly, nvMk, all)
+	}
+	if all != def {
+		t.Errorf("explicit full set (%.2f) differs from stage default (%.2f)", all, def)
+	}
+	// makenewz is the big remaining chunk: most of the nv-only -> all gap.
+	if gain, mkGain := nvOnly-all, nvOnly-nvMk; mkGain < gain/2 {
+		t.Errorf("makenewz offload contributes %.2fs of %.2fs; expected the majority", mkGain, gain)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	prof := workload.Profile42SC()
+	cm := cell.DefaultCostModel()
+	params := cell.DefaultParams()
+	if _, err := Run(prof, cm, params, Config{Searches: 0}); err == nil {
+		t.Error("0 searches accepted")
+	}
+	if _, err := Run(prof, cm, params, Config{Searches: 1, Scheduler: SchedLLP, Workers: 8}); err == nil {
+		t.Error("LLP with 8 workers accepted")
+	}
+	if _, err := Run(prof, cm, params, Config{Searches: 1, Scheduler: Scheduler(42)}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestEDTLPBeatsNaiveWithManyWorkers(t *testing.T) {
+	// With 8 workers the naive port can only hold 2 PPE threads; EDTLP
+	// multiplexes all 8 over the SPEs — the paper's core scheduling claim.
+	prof := workload.Profile42SC()
+	cm := cell.DefaultCostModel()
+	params := cell.DefaultParams()
+	naive, err := Run(prof, cm, params, Config{
+		Stage: StageAllOffloaded, Scheduler: SchedNaive, Workers: 8, Searches: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edtlp, err := Run(prof, cm, params, Config{
+		Stage: StageAllOffloaded, Scheduler: SchedEDTLP, Workers: 8, Searches: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edtlp.Seconds >= naive.Seconds {
+		t.Errorf("EDTLP (%.2fs) not faster than naive (%.2fs) at 8 workers", edtlp.Seconds, naive.Seconds)
+	}
+	// EDTLP should engage many SPEs.
+	busy := 0
+	for _, u := range edtlp.SPEUtilization {
+		if u > 0.05 {
+			busy++
+		}
+	}
+	if busy < 8 {
+		t.Errorf("EDTLP used only %d SPEs", busy)
+	}
+}
+
+func TestLLPHelpsSingleWorker(t *testing.T) {
+	// One task cannot fill the machine with task-level parallelism; LLP
+	// spreads its loops over all 8 SPEs.
+	prof := workload.Profile42SC()
+	cm := cell.DefaultCostModel()
+	params := cell.DefaultParams()
+	task, err := Run(prof, cm, params, Config{
+		Stage: StageAllOffloaded, Scheduler: SchedNaive, Workers: 1, Searches: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	llp, err := Run(prof, cm, params, Config{
+		Stage: StageAllOffloaded, Scheduler: SchedLLP, Workers: 1, Searches: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llp.Seconds >= task.Seconds {
+		t.Errorf("LLP (%.2fs) not faster than single-SPE (%.2fs)", llp.Seconds, task.Seconds)
+	}
+	if llp.MaxLLPWidth != 8 {
+		t.Errorf("LLP width = %d, want 8", llp.MaxLLPWidth)
+	}
+}
+
+func TestMGPSAdoptsIdleSPEs(t *testing.T) {
+	// 9 searches on 8 workers: the straggler's second search should adopt
+	// donated SPEs and finish with LLP width > 1.
+	prof := workload.Profile42SC()
+	cm := cell.DefaultCostModel()
+	params := cell.DefaultParams()
+	rep, err := Run(prof, cm, params, Config{
+		Stage: StageAllOffloaded, Scheduler: SchedMGPS, Searches: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxLLPWidth < 2 {
+		t.Errorf("MGPS never widened beyond %d SPEs", rep.MaxLLPWidth)
+	}
+	// And it must beat running 9 searches EDTLP-only... at minimum not lose.
+	edtlp, err := Run(prof, cm, params, Config{
+		Stage: StageAllOffloaded, Scheduler: SchedEDTLP, Workers: 8, Searches: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seconds > edtlp.Seconds*1.02 {
+		t.Errorf("MGPS (%.2fs) slower than EDTLP (%.2fs)", rep.Seconds, edtlp.Seconds)
+	}
+}
+
+func TestCommunicationScalesWithParallelism(t *testing.T) {
+	// Section 5.2.6: the benefit of direct signalling grows with the number
+	// of workers. Compare mailbox and direct stages at 1 and 2 workers:
+	// the relative gain must grow.
+	prof := workload.Profile42SC()
+	cm := cell.DefaultCostModel()
+	params := cell.DefaultParams()
+	gain := func(workers, searches int) float64 {
+		mb, err := Run(prof, cm, params, Config{
+			Stage: StageVectorFP, Scheduler: SchedNaive, Workers: workers, Searches: searches,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, err := Run(prof, cm, params, Config{
+			Stage: StageDirectComm, Scheduler: SchedNaive, Workers: workers, Searches: searches,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 1 - dc.Seconds/mb.Seconds
+	}
+	g1 := gain(1, 1)
+	g2 := gain(2, 8)
+	if g1 <= 0 || g2 <= 0 {
+		t.Fatalf("direct comm not a gain: %v %v", g1, g2)
+	}
+	if g2 < g1 {
+		t.Errorf("comm gain shrank with parallelism: %.3f -> %.3f", g1, g2)
+	}
+}
+
+func TestLocalStoreProvisioning(t *testing.T) {
+	prof := workload.Profile42SC()
+	cm := cell.DefaultCostModel()
+	params := cell.DefaultParams()
+	rep, err := Run(prof, cm, params, Config{
+		Stage: StageAllOffloaded, Scheduler: SchedNaive, Workers: 1, Searches: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rep
+	// A local store too small for the code module must fail.
+	params.LocalStoreBytes = 100 * 1024
+	if _, err := Run(prof, cm, params, Config{
+		Stage: StageAllOffloaded, Scheduler: SchedNaive, Workers: 1, Searches: 1,
+	}); err == nil {
+		t.Error("117 KB module fit in a 100 KB local store")
+	}
+	// The newview-only module is smaller and still fits.
+	if _, err := Run(prof, cm, params, Config{
+		Stage: StageNaiveOffload, Scheduler: SchedNaive, Workers: 1, Searches: 1,
+	}); err != nil {
+		t.Errorf("newview-only module rejected: %v", err)
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	prof := workload.Profile42SC()
+	rep, err := Run(prof, cell.DefaultCostModel(), cell.DefaultParams(), Config{
+		Stage: StageDirectComm, Scheduler: SchedNaive, Workers: 2, Searches: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seconds <= 0 || rep.Cycles == 0 {
+		t.Error("empty timing")
+	}
+	if len(rep.SPEUtilization) != 8 {
+		t.Errorf("utilization entries = %d", len(rep.SPEUtilization))
+	}
+	if rep.OffloadedCalls <= 0 || rep.CommSeconds <= 0 {
+		t.Error("missing offload statistics")
+	}
+	// Two workers -> exactly two busy SPEs under the naive scheduler.
+	busy := 0
+	for _, u := range rep.SPEUtilization {
+		if u > 0 {
+			busy++
+		}
+	}
+	if busy != 2 {
+		t.Errorf("busy SPEs = %d, want 2", busy)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	prof := workload.Profile42SC()
+	cm := cell.DefaultCostModel()
+	params := cell.DefaultParams()
+	cfg := Config{Stage: StageAllOffloaded, Scheduler: SchedMGPS, Searches: 5}
+	a, err := Run(prof, cm, params, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(prof, cm, params, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("non-deterministic: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}

@@ -1,0 +1,73 @@
+package cellrt
+
+import (
+	"math"
+	"testing"
+
+	"raxmlcell/internal/cell"
+	"raxmlcell/internal/workload"
+)
+
+// TestEpisodeGranularityRobust validates the simulation's discretization:
+// the makespan must be insensitive to the episode count (the scheduling
+// quantum), otherwise the reproduced tables would be artifacts of an
+// arbitrary parameter rather than of the modeled machine.
+func TestEpisodeGranularityRobust(t *testing.T) {
+	prof := workload.Profile42SC()
+	cm := cell.DefaultCostModel()
+	params := cell.DefaultParams()
+
+	cases := []Config{
+		{Stage: StageNaiveOffload, Scheduler: SchedNaive, Workers: 2, Searches: 4},
+		{Stage: StageAllOffloaded, Scheduler: SchedNaive, Workers: 2, Searches: 4},
+		{Stage: StageAllOffloaded, Scheduler: SchedMGPS, Searches: 8},
+		{Stage: StageAllOffloaded, Scheduler: SchedEDTLP, Workers: 8, Searches: 8},
+	}
+	for _, base := range cases {
+		ref := 0.0
+		for _, episodes := range []int{60, 150, 400} {
+			cfg := base
+			cfg.Episodes = episodes
+			rep, err := Run(prof, cm, params, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == 0 {
+				ref = rep.Seconds
+				continue
+			}
+			if dev := math.Abs(rep.Seconds-ref) / ref; dev > 0.06 {
+				t.Errorf("%v/%v: episodes=%d gives %.2fs, reference %.2fs (%.1f%% drift)",
+					base.Stage, base.Scheduler, episodes, rep.Seconds, ref, 100*dev)
+			}
+		}
+	}
+}
+
+// TestSMTFactorVisible verifies the PPE contention model: the same total
+// workload takes ~41% longer per search when two workers share the PPE
+// than when one runs alone (the paper's Table 1a column structure).
+func TestSMTFactorVisible(t *testing.T) {
+	prof := workload.Profile42SC()
+	cm := cell.DefaultCostModel()
+	params := cell.DefaultParams()
+
+	one, err := Run(prof, cm, params, Config{
+		Stage: StagePPEOnly, Scheduler: SchedNaive, Workers: 1, Searches: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Run(prof, cm, params, Config{
+		Stage: StagePPEOnly, Scheduler: SchedNaive, Workers: 2, Searches: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two workers split the searches but contend: expected time ratio
+	// two/one = (1 search x 1.41) / (2 searches x 1.0) = 0.705.
+	ratio := two.Seconds / one.Seconds
+	if math.Abs(ratio-cm.PPESMTFactor/2) > 0.02 {
+		t.Errorf("SMT scaling ratio = %.3f, want ~%.3f", ratio, cm.PPESMTFactor/2)
+	}
+}

@@ -1,0 +1,347 @@
+package cellrt
+
+import (
+	"fmt"
+
+	"raxmlcell/internal/cell"
+	"raxmlcell/internal/sim"
+	"raxmlcell/internal/workload"
+)
+
+// Scheduler selects the parallelization policy of Section 5.3.
+type Scheduler int
+
+const (
+	// SchedNaive is the initial port: each MPI process is pinned to a PPE
+	// hardware thread, which it holds for its whole lifetime, busy-waiting
+	// while its SPE computes. At most two processes make progress.
+	SchedNaive Scheduler = iota
+	// SchedEDTLP is event-driven task-level parallelization: the PPE is
+	// oversubscribed with MPI processes and a process is switched out
+	// whenever it offloads ("switch-on-offload"), so up to eight SPEs stay
+	// busy.
+	SchedEDTLP
+	// SchedLLP is loop-level parallelization: each process distributes the
+	// parallelizable loop portion of every offloaded call across several
+	// SPEs.
+	SchedLLP
+	// SchedMGPS is the dynamic multi-grain scheduler: EDTLP while enough
+	// task-level parallelism exists, with idle SPEs re-used for loop-level
+	// parallelism as the bootstrap queue drains.
+	SchedMGPS
+)
+
+func (s Scheduler) String() string {
+	switch s {
+	case SchedNaive:
+		return "naive"
+	case SchedEDTLP:
+		return "edtlp"
+	case SchedLLP:
+		return "llp"
+	case SchedMGPS:
+		return "mgps"
+	}
+	return fmt.Sprintf("scheduler(%d)", int(s))
+}
+
+// Config parameterizes one simulated run.
+type Config struct {
+	Stage     Stage
+	Scheduler Scheduler
+	Workers   int // MPI processes (ignored by MGPS, which sizes itself)
+	Searches  int // total bootstraps/inferences
+	Episodes  int // scheduling quanta per search (default 150)
+	// Offload overrides which kernel classes run on the SPE (nil = the
+	// stage's default) — for ablations across the Section 5.2.7
+	// progression.
+	Offload OffloadSet
+}
+
+// Report is the outcome of a simulated run.
+type Report struct {
+	Config         Config
+	Cycles         sim.Time
+	Seconds        float64
+	SPEUtilization []float64
+	OffloadedCalls float64
+	CommSeconds    float64
+	MaxLLPWidth    int
+}
+
+// codeFootprint returns the SPE code module size per stage: the paper's
+// single module with all three functions is 117 KB; the newview-only module
+// is proportionally smaller.
+func codeFootprint(stage Stage) int {
+	if stage.offloadsAll() {
+		return 117 * 1024
+	}
+	return 64 * 1024
+}
+
+// Run executes the workload on a simulated Cell and reports the makespan.
+func Run(prof workload.Profile, cm cell.CostModel, params cell.Params, cfg Config) (*Report, error) {
+	if cfg.Searches <= 0 {
+		return nil, fmt.Errorf("cellrt: need at least one search, got %d", cfg.Searches)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Episodes <= 0 {
+		cfg.Episodes = 150
+	}
+	if cfg.Scheduler == SchedMGPS {
+		cfg.Workers = params.NumSPE
+	}
+	if cfg.Scheduler == SchedLLP && cfg.Workers > params.NumSPE/2 {
+		return nil, fmt.Errorf("cellrt: LLP with %d workers leaves no SPEs for loop distribution", cfg.Workers)
+	}
+
+	m, err := cell.New(params)
+	if err != nil {
+		return nil, err
+	}
+	sc := computeSearchCost(&prof, cfg.Stage, cm, cfg.Offload)
+	r := &runner{
+		m:    m,
+		cm:   cm,
+		cfg:  cfg,
+		sc:   sc,
+		jobs: cfg.Searches,
+	}
+	// One lock per SPE so that oversubscribed configurations serialize
+	// instead of overlapping impossibly.
+	r.speLocks = make([]*sim.Resource, params.NumSPE)
+	for i := range r.speLocks {
+		r.speLocks[i] = sim.NewResource(1)
+	}
+
+	// Provision local stores: code module + strip-mining buffers.
+	if cfg.Stage.offloadsNewview() {
+		nBufs := 1
+		if cfg.Stage.doubleBuffered() {
+			nBufs = 2
+		}
+		for _, spe := range m.SPEs {
+			if err := spe.LS.Alloc("code", codeFootprint(cfg.Stage)); err != nil {
+				return nil, err
+			}
+			if err := spe.LS.Alloc("dma-buffers", nBufs*int(prof.DMABatchBytes)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	switch cfg.Scheduler {
+	case SchedNaive:
+		r.spawnStatic(false, 1)
+	case SchedEDTLP:
+		r.spawnStatic(true, 1)
+	case SchedLLP:
+		k := params.NumSPE / cfg.Workers
+		if k < 1 {
+			k = 1
+		}
+		r.spawnStatic(false, k)
+	case SchedMGPS:
+		r.spawnMGPS()
+	default:
+		return nil, fmt.Errorf("cellrt: unknown scheduler %v", cfg.Scheduler)
+	}
+
+	if err := m.Eng.Run(); err != nil {
+		return nil, fmt.Errorf("cellrt: simulation: %w", err)
+	}
+
+	rep := &Report{
+		Config:         cfg,
+		Cycles:         m.Eng.Now(),
+		Seconds:        m.Seconds(m.Eng.Now()),
+		OffloadedCalls: sc.offloadedCalls * float64(cfg.Searches),
+		CommSeconds:    sc.commCycles * float64(cfg.Searches) / params.ClockHz,
+		MaxLLPWidth:    r.maxLLP,
+	}
+	for _, spe := range m.SPEs {
+		rep.SPEUtilization = append(rep.SPEUtilization, spe.Utilization())
+	}
+	return rep, nil
+}
+
+// runner carries the shared state of one simulated run.
+type runner struct {
+	m        *cell.Machine
+	cm       cell.CostModel
+	cfg      Config
+	sc       searchCost
+	speLocks []*sim.Resource
+
+	jobs     int // searches not yet claimed
+	active   int // workers currently holding a job (MGPS)
+	idleSPEs []int
+	maxLLP   int
+}
+
+func (r *runner) smtFactor() float64 {
+	if r.m.PPE.Threads.InUse() >= 2 {
+		return r.cm.PPESMTFactor
+	}
+	return 1
+}
+
+// episode quantities (per scheduling quantum).
+func (r *runner) perEpisode() (ppe, serial, parallel, dma, comm float64) {
+	e := float64(r.cfg.Episodes)
+	return r.sc.ppeCycles / e, r.sc.speSerial / e, r.sc.speParallel / e, r.sc.dmaWait / e, r.sc.commCycles / e
+}
+
+// switchPerEpisode is the event-driven scheduler's PPE overhead per episode:
+// two process context switches per offloaded call (switch out on offload,
+// switch back in on completion).
+func (r *runner) switchPerEpisode() float64 {
+	return 2 * r.cm.ContextSwitch * r.sc.offloadedCalls / float64(r.cfg.Episodes)
+}
+
+// takeJob claims the next search, or returns false.
+func (r *runner) takeJob() bool {
+	if r.jobs == 0 {
+		return false
+	}
+	r.jobs--
+	return true
+}
+
+// spawnStatic launches cfg.Workers processes with a fixed policy:
+// eventDriven selects busy-wait (naive) versus switch-on-offload (EDTLP);
+// k is the fixed LLP width (1 = pure task-level).
+func (r *runner) spawnStatic(eventDriven bool, k int) {
+	if k > r.maxLLP {
+		r.maxLLP = k
+	}
+	for w := 0; w < r.cfg.Workers; w++ {
+		w := w
+		speSet := make([]int, k)
+		for i := 0; i < k; i++ {
+			speSet[i] = (w*k + i) % r.m.NumSPE
+		}
+		r.m.Eng.Spawn(fmt.Sprintf("mpi-%d", w), func(p *sim.Proc) {
+			if !eventDriven {
+				// The naive port pins the process to a PPE thread for its
+				// whole lifetime.
+				r.m.PPE.Threads.Acquire(p, 1)
+				defer r.m.PPE.Threads.Release(1)
+			}
+			for r.takeJob() {
+				r.runSearch(p, speSet, eventDriven)
+			}
+		})
+	}
+}
+
+// runSearch executes one search's episodes on the given SPE set.
+func (r *runner) runSearch(p *sim.Proc, speSet []int, eventDriven bool) {
+	ppeE, serialE, parE, dmaE, commE := r.perEpisode()
+	offload := r.cfg.Stage.offloadedIn(workload.Newview, r.cfg.Offload)
+	for e := 0; e < r.cfg.Episodes; e++ {
+		if eventDriven {
+			r.m.PPE.Threads.Acquire(p, 1)
+			p.Advance(sim.Time((r.switchPerEpisode() + ppeE + commE/2) * r.smtFactor()))
+			r.m.PPE.Threads.Release(1)
+		} else {
+			p.Advance(sim.Time(ppeE * r.smtFactor()))
+			if offload {
+				// Mailbox/MMIO signalling executes on the PPE and contends
+				// with the other SMT thread — which is why the paper finds
+				// the direct-communication optimization "scales with
+				// parallelism" (Section 5.2.6).
+				p.Advance(sim.Time(commE / 2 * r.smtFactor()))
+			}
+		}
+		if offload {
+			r.computeOnSPEs(p, speSet, serialE, parE, dmaE)
+			p.Advance(sim.Time(commE / 2 * r.smtFactor()))
+		}
+	}
+}
+
+// computeOnSPEs charges one episode's SPE work across the worker's SPE set
+// (loop-level distribution when len > 1), serializing on each SPE's lock.
+func (r *runner) computeOnSPEs(p *sim.Proc, speSet []int, serial, parallel, dma float64) {
+	k := len(speSet)
+	if k > r.maxLLP {
+		r.maxLLP = k
+	}
+	share := parallel / float64(k)
+	barrier := r.cm.LLPBarrier * float64(k-1)
+	primary := r.speLocks[speSet[0]]
+	primary.Acquire(p, 1)
+	// Busy-time accounting on every participating SPE.
+	for i, id := range speSet {
+		c := share
+		if i == 0 {
+			c += serial + dma
+		}
+		r.m.SPEs[id].AddBusy(sim.Time(c))
+	}
+	p.Advance(sim.Time(serial + dma + share + barrier))
+	primary.Release(1)
+}
+
+// spawnMGPS launches the dynamic scheduler: NumSPE event-driven workers
+// share the job queue; when the queue drains, exiting workers donate their
+// SPEs to an idle pool that the remaining workers adopt for LLP.
+func (r *runner) spawnMGPS() {
+	for w := 0; w < r.cfg.Workers; w++ {
+		w := w
+		r.m.Eng.Spawn(fmt.Sprintf("mgps-%d", w), func(p *sim.Proc) {
+			mySPEs := []int{w % r.m.NumSPE}
+			for {
+				if !r.takeJob() {
+					// Donate SPEs to workers that still have work.
+					r.idleSPEs = append(r.idleSPEs, mySPEs...)
+					return
+				}
+				r.active++
+				r.runSearchMGPS(p, &mySPEs)
+				r.active--
+			}
+		})
+	}
+}
+
+func (r *runner) runSearchMGPS(p *sim.Proc, mySPEs *[]int) {
+	ppeE, serialE, parE, dmaE, commE := r.perEpisode()
+	offload := r.cfg.Stage.offloadedIn(workload.Newview, r.cfg.Offload)
+	for e := 0; e < r.cfg.Episodes; e++ {
+		// Adopt idle SPEs up to a fair share of the machine.
+		r.adoptSPEs(mySPEs)
+		r.m.PPE.Threads.Acquire(p, 1)
+		p.Advance(sim.Time((r.switchPerEpisode() + ppeE + commE/2) * r.smtFactor()))
+		r.m.PPE.Threads.Release(1)
+		if offload {
+			r.computeOnSPEs(p, *mySPEs, serialE, parE, dmaE)
+			p.Advance(sim.Time(commE / 2))
+		} else {
+			// PPE-only stage under MGPS degenerates to EDTLP timeslicing.
+			continue
+		}
+	}
+}
+
+func (r *runner) adoptSPEs(mySPEs *[]int) {
+	if len(r.idleSPEs) == 0 {
+		return
+	}
+	workers := r.active
+	if workers < 1 {
+		workers = 1
+	}
+	fair := r.m.NumSPE / workers
+	if fair < 1 {
+		fair = 1
+	}
+	for len(*mySPEs) < fair && len(r.idleSPEs) > 0 {
+		n := len(r.idleSPEs) - 1
+		*mySPEs = append(*mySPEs, r.idleSPEs[n])
+		r.idleSPEs = r.idleSPEs[:n]
+	}
+}

@@ -1,0 +1,80 @@
+package cellrt
+
+import (
+	"testing"
+
+	"raxmlcell/internal/cell"
+	"raxmlcell/internal/workload"
+)
+
+// TestCostModelSensitivity perturbs every calibrated cost constant by ±25%
+// and checks that the paper's qualitative conclusions survive: the naive
+// offload stays a slowdown, the optimization sequence stays monotone, and
+// the final port still beats the PPE baseline. This guards against the
+// reproduction being a knife-edge artifact of the calibration.
+func TestCostModelSensitivity(t *testing.T) {
+	prof := workload.Profile42SC()
+	params := cell.DefaultParams()
+
+	perturbations := []struct {
+		name  string
+		apply func(*cell.CostModel, float64)
+	}{
+		{"SPEFlopScalar", func(c *cell.CostModel, f float64) { c.SPEFlopScalar *= f }},
+		{"SPEFlopVector", func(c *cell.CostModel, f float64) { c.SPEFlopVector *= f }},
+		{"SPEExpLibm", func(c *cell.CostModel, f float64) { c.SPEExpLibm *= f }},
+		{"SPEExpSDK", func(c *cell.CostModel, f float64) { c.SPEExpSDK *= f }},
+		{"SPECondScalar", func(c *cell.CostModel, f float64) { c.SPECondScalar *= f }},
+		{"SPECondVector", func(c *cell.CostModel, f float64) { c.SPECondVector *= f }},
+		{"PPEFlop", func(c *cell.CostModel, f float64) { c.PPEFlop *= f }},
+		{"MailboxRoundTrip", func(c *cell.CostModel, f float64) { c.MailboxRoundTrip *= f }},
+		{"DirectRoundTrip", func(c *cell.CostModel, f float64) { c.DirectRoundTrip *= f }},
+		{"DMABatchStartup", func(c *cell.CostModel, f float64) { c.DMABatchStartup *= f }},
+		{"ContextSwitch", func(c *cell.CostModel, f float64) { c.ContextSwitch *= f }},
+		{"LLPBarrier", func(c *cell.CostModel, f float64) { c.LLPBarrier *= f }},
+	}
+
+	for _, p := range perturbations {
+		for _, factor := range []float64{0.75, 1.25} {
+			cm := cell.DefaultCostModel()
+			p.apply(&cm, factor)
+
+			var times [NumStages]float64
+			for stage := StagePPEOnly; stage < NumStages; stage++ {
+				rep, err := Run(prof, cm, params, Config{
+					Stage: stage, Scheduler: SchedNaive, Workers: 1, Searches: 1,
+				})
+				if err != nil {
+					t.Fatalf("%s x%.2f: %v", p.name, factor, err)
+				}
+				times[stage] = rep.Seconds
+			}
+			if times[StageNaiveOffload] <= times[StagePPEOnly] {
+				t.Errorf("%s x%.2f: naive offload no longer a slowdown (%.1f vs %.1f)",
+					p.name, factor, times[StageNaiveOffload], times[StagePPEOnly])
+			}
+			for s := StageSDKExp; s < NumStages; s++ {
+				// Allow tiny non-monotonicity only for the constant whose
+				// perturbation directly shrinks that stage's gain to zero.
+				if times[s] > times[s-1]*1.001 {
+					t.Errorf("%s x%.2f: stage %v (%.2f) regressed vs %v (%.2f)",
+						p.name, factor, s, times[s], s-1, times[s-1])
+				}
+			}
+			if times[StageAllOffloaded] >= times[StagePPEOnly] {
+				t.Errorf("%s x%.2f: final port no longer beats the PPE", p.name, factor)
+			}
+
+			mgps, err := Run(prof, cm, params, Config{
+				Stage: StageAllOffloaded, Scheduler: SchedMGPS, Searches: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mgps.Seconds >= times[StageAllOffloaded] {
+				t.Errorf("%s x%.2f: MGPS (%.2f) no longer beats the single-SPE port (%.2f)",
+					p.name, factor, mgps.Seconds, times[StageAllOffloaded])
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package cellrt is the port runtime of the reproduction: it executes the
+// RAxML kernel workload (internal/workload) on the simulated Cell
+// (internal/cell) under the paper's staged optimizations and scheduling
+// policies, producing the execution times of Tables 1-8.
+//
+// The split of responsibilities mirrors the paper's methodology: the
+// likelihood kernels' operation mix comes from the workload profile, the
+// per-operation cycle costs from the machine's cost model, and the dynamic
+// behaviour — PPE SMT contention, SPE assignment, busy-wait versus
+// event-driven scheduling, loop-level work distribution — from the
+// discrete-event simulation.
+package cellrt
+
+import (
+	"fmt"
+
+	"raxmlcell/internal/cell"
+	"raxmlcell/internal/workload"
+)
+
+// Stage is a cumulative optimization level, one per table of Section 5.
+type Stage int
+
+const (
+	// StagePPEOnly runs the whole application on the PPE (Table 1a).
+	StagePPEOnly Stage = iota
+	// StageNaiveOffload moves newview() to one SPE per worker with no
+	// SPE-side optimization: libm exp, scalar conditionals, synchronous
+	// DMA, mailbox signalling (Table 1b).
+	StageNaiveOffload
+	// StageSDKExp replaces libm exp() with the SDK numerical exp (Table 2).
+	StageSDKExp
+	// StageVectorCond casts and vectorizes the scaling conditional (Table 3).
+	StageVectorCond
+	// StageDoubleBuffer overlaps DMA with computation (Table 4).
+	StageDoubleBuffer
+	// StageVectorFP vectorizes the two floating point loops (Table 5).
+	StageVectorFP
+	// StageDirectComm signals through memory instead of mailboxes (Table 6).
+	StageDirectComm
+	// StageAllOffloaded moves makenewz() and evaluate() to the SPE too
+	// (Table 7).
+	StageAllOffloaded
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"ppe-only",
+	"naive-offload",
+	"sdk-exp",
+	"vector-cond",
+	"double-buffer",
+	"vector-fp",
+	"direct-comm",
+	"all-offloaded",
+}
+
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+	return stageNames[s]
+}
+
+// Cumulative optimization predicates.
+func (s Stage) offloadsNewview() bool { return s >= StageNaiveOffload }
+func (s Stage) sdkExp() bool          { return s >= StageSDKExp }
+func (s Stage) vectorCond() bool      { return s >= StageVectorCond }
+func (s Stage) doubleBuffered() bool  { return s >= StageDoubleBuffer }
+func (s Stage) vectorFP() bool        { return s >= StageVectorFP }
+func (s Stage) directComm() bool      { return s >= StageDirectComm }
+func (s Stage) offloadsAll() bool     { return s >= StageAllOffloaded }
+func (s Stage) offloads(c workload.Class) bool {
+	if c == workload.Newview {
+		return s.offloadsNewview()
+	}
+	return s.offloadsAll()
+}
+
+// classCosts is the per-invocation cycle breakdown of one kernel class
+// under a given stage.
+type classCosts struct {
+	speSerial   float64 // SPE cycles that stay serial under LLP
+	speParallel float64 // SPE cycles divisible across SPEs under LLP
+	dmaWait     float64 // synchronous DMA stall (0 when double-buffered)
+	ppe         float64 // PPE cycles per call when the class is NOT offloaded
+	comm        float64 // PPE<->SPE round-trip cycles per offloaded call
+}
+
+func (cc classCosts) speTotal() float64 { return cc.speSerial + cc.speParallel + cc.dmaWait }
+
+// costsFor derives the per-call cost vector of a class from its operation
+// counts, the machine cost model, and the active optimization stage.
+func costsFor(ops workload.Ops, stage Stage, cm cell.CostModel, batchBytes float64) classCosts {
+	var cc classCosts
+
+	// --- SPE execution ---
+	flop := cm.SPEFlopScalar
+	vecOverhead := 0.0
+	if stage.vectorFP() {
+		flop = cm.SPEFlopVector
+		vecOverhead = cm.SPEVectorOverhead * ops.LoopIters
+	}
+	exp := cm.SPEExpLibm
+	if stage.sdkExp() {
+		exp = cm.SPEExpSDK
+	}
+	cond := cm.SPECondScalar
+	if stage.vectorCond() {
+		cond = cm.SPECondVector
+	}
+	loopWork := ops.LoopFlops*flop + vecOverhead + ops.ScaleChecks*cond + ops.ScaleEvents*cm.SPEScaleBody
+	serialWork := ops.Exps*exp + ops.Logs*cm.SPELog
+
+	// The overhead constant covers addressing/bookkeeping; its parallel
+	// share distributes with the loops under LLP.
+	cc.speParallel = ops.ParallelFrac*ops.OverheadSPE + loopWork
+	cc.speSerial = (1-ops.ParallelFrac)*ops.OverheadSPE + serialWork
+
+	// Strip-mining DMA: without double buffering the SPE stalls for each
+	// batch; with it, transfers hide behind the loop computation (the paper
+	// measures the 11.4% idle time going to zero).
+	if ops.Bytes > 0 && batchBytes > 0 {
+		batches := ops.Bytes / batchBytes
+		if batches < 1 {
+			batches = 1
+		}
+		dma := batches * (cm.DMABatchStartup + batchBytes/cm.MemBytesPerCycle)
+		if !stage.doubleBuffered() {
+			cc.dmaWait = dma
+		}
+	}
+
+	// --- PPE execution (when not offloaded) ---
+	cc.ppe = ops.OverheadPPE +
+		ops.LoopFlops*cm.PPEFlop +
+		ops.Exps*cm.PPEExp +
+		ops.Logs*cm.PPELog +
+		ops.ScaleChecks*cm.PPECond
+
+	// --- communication ---
+	if stage.directComm() {
+		cc.comm = cm.DirectRoundTrip
+	} else {
+		cc.comm = cm.MailboxRoundTrip
+	}
+	return cc
+}
+
+// OffloadSet selects which kernel classes run on the SPE, for ablations
+// between the paper's newview-only stages and the full Table 7 port
+// (Section 5.2.7 walks exactly this progression). A nil set means "follow
+// the stage's default".
+type OffloadSet map[workload.Class]bool
+
+// offloaded resolves the effective offload decision for a class.
+func (s Stage) offloadedIn(c workload.Class, custom OffloadSet) bool {
+	if custom != nil {
+		return custom[c]
+	}
+	return s.offloads(c)
+}
+
+// searchCost aggregates a whole search (one bootstrap/inference) under a
+// stage into the quantities the schedulers operate on.
+type searchCost struct {
+	ppeCycles      float64 // PPE work incl. orchestration and non-offloaded kernels
+	speSerial      float64 // SPE serial cycles
+	speParallel    float64 // SPE cycles divisible under LLP
+	dmaWait        float64
+	commCycles     float64 // total signalling cost
+	offloadedCalls float64 // top-level offloaded invocations (for statistics)
+}
+
+func (sc searchCost) speTotal() float64 { return sc.speSerial + sc.speParallel + sc.dmaWait }
+
+// computeSearchCost folds the profile's classes under the given stage,
+// optionally overriding which classes are offloaded.
+func computeSearchCost(prof *workload.Profile, stage Stage, cm cell.CostModel, custom OffloadSet) searchCost {
+	var sc searchCost
+	sc.ppeCycles = prof.OrchestrationCycles
+	allThree := stage.offloadedIn(workload.Newview, custom) &&
+		stage.offloadedIn(workload.Makenewz, custom) &&
+		stage.offloadedIn(workload.Evaluate, custom)
+	for c := workload.Class(0); c < workload.NumClasses; c++ {
+		cp := prof.Classes[c]
+		if cp.Count == 0 {
+			continue
+		}
+		cc := costsFor(cp.PerCall, stage, cm, prof.DMABatchBytes)
+		if !stage.offloadedIn(c, custom) {
+			sc.ppeCycles += cp.Count * cc.ppe
+			continue
+		}
+		sc.speSerial += cp.Count * cc.speSerial
+		sc.speParallel += cp.Count * cc.speParallel
+		sc.dmaWait += cp.Count * cc.dmaWait
+		calls := cp.Count
+		if c == workload.Newview && allThree {
+			// Nested newview calls from makenewz/evaluate stay on the SPE:
+			// no PPE round trip (Section 5.2.7).
+			calls *= 1 - prof.NestedFrac
+		}
+		sc.commCycles += calls * cc.comm
+		sc.offloadedCalls += calls
+	}
+	return sc
+}

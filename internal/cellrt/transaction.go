@@ -1,0 +1,126 @@
+package cellrt
+
+import (
+	"fmt"
+
+	"raxmlcell/internal/cell"
+	"raxmlcell/internal/sim"
+	"raxmlcell/internal/workload"
+)
+
+// TransactionReport is the timing breakdown of one offloaded kernel
+// invocation played through the machine's actual primitives — mailbox or
+// direct-memory signalling, strip-mined DMA with or without double
+// buffering, and SPE computation.
+//
+// The table-reproduction fast path (Run) charges invocation costs
+// analytically; SimulateTransaction is the microscopic cross-check that the
+// analytic per-call cost matches what the modeled hardware actually does,
+// and the reference example of programming against the cell package's MFC
+// and mailbox APIs.
+type TransactionReport struct {
+	TotalCycles   sim.Time
+	ComputeCycles sim.Time
+	DMAWaitCycles sim.Time
+	SignalCycles  sim.Time
+	Batches       int
+}
+
+// SimulateTransaction runs one kernel invocation end to end on a fresh
+// machine: the PPE signals the SPE, the SPE strips the likelihood vectors
+// through its local store while computing, and completion is signalled
+// back. The stage selects signalling style and buffering discipline exactly
+// as in the table runs.
+func SimulateTransaction(params cell.Params, cm cell.CostModel, ops workload.Ops, stage Stage, batchBytes int) (*TransactionReport, error) {
+	if !stage.offloadsNewview() {
+		return nil, fmt.Errorf("cellrt: stage %v does not offload", stage)
+	}
+	if batchBytes <= 0 || batchBytes%16 != 0 {
+		return nil, fmt.Errorf("cellrt: batch size %d must be a positive multiple of 16", batchBytes)
+	}
+	m, err := cell.New(params)
+	if err != nil {
+		return nil, err
+	}
+	spe := m.SPEs[0]
+	nBufs := 1
+	if stage.doubleBuffered() {
+		nBufs = 2
+	}
+	if err := spe.LS.Alloc("code", codeFootprint(stage)); err != nil {
+		return nil, err
+	}
+	if err := spe.LS.Alloc("dma-buffers", nBufs*batchBytes); err != nil {
+		return nil, err
+	}
+
+	cc := costsFor(ops, stage, cm, float64(batchBytes))
+	batches := int(ops.Bytes / float64(batchBytes))
+	if batches < 1 {
+		batches = 1
+	}
+	computePerBatch := sim.Time((cc.speSerial + cc.speParallel) / float64(batches))
+
+	rep := &TransactionReport{Batches: batches}
+	var done sim.Cond
+
+	// The SPE thread: busy-waits for the start signal, then strip-mines.
+	m.Eng.Spawn("spe-thread", func(p *sim.Proc) {
+		start := spe.Mailbox.Recv(p) // both signalling styles deliver here;
+		_ = start                    // the cost difference is charged by the PPE side
+		computeStart := p.Now()
+		var dmaWait sim.Time
+		if stage.doubleBuffered() {
+			pending, err := spe.DMAAsync(batchBytes)
+			if err != nil {
+				panic(err)
+			}
+			for b := 0; b < batches; b++ {
+				before := p.Now()
+				spe.WaitDMA(p, pending)
+				dmaWait += p.Now() - before
+				if b+1 < batches {
+					pending, err = spe.DMAAsync(batchBytes)
+					if err != nil {
+						panic(err)
+					}
+				}
+				spe.Compute(p, computePerBatch)
+			}
+		} else {
+			for b := 0; b < batches; b++ {
+				before := p.Now()
+				if err := spe.DMA(p, batchBytes); err != nil {
+					panic(err)
+				}
+				dmaWait += p.Now() - before
+				spe.Compute(p, computePerBatch)
+			}
+		}
+		rep.ComputeCycles = p.Now() - computeStart - dmaWait
+		rep.DMAWaitCycles = dmaWait
+		done.Signal()
+	})
+
+	// The PPE side: pay the signal cost, post the start token, wait for
+	// completion, pay the completion-signal cost.
+	m.Eng.Spawn("ppe-side", func(p *sim.Proc) {
+		signal := sim.Time(cc.comm / 2)
+		p.Advance(signal)
+		if stage.directComm() {
+			m.DirectSignals++
+		} else {
+			m.MailboxSends++
+		}
+		spe.Mailbox.Send(p, "start")
+		done.Wait(p)
+		p.Advance(signal)
+		rep.SignalCycles = 2 * signal
+	})
+
+	if err := m.Eng.Run(); err != nil {
+		return nil, err
+	}
+	rep.TotalCycles = m.Eng.Now()
+	return rep, nil
+}

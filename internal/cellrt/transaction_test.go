@@ -1,0 +1,84 @@
+package cellrt
+
+import (
+	"math"
+	"testing"
+
+	"raxmlcell/internal/cell"
+	"raxmlcell/internal/workload"
+)
+
+func TestTransactionMatchesAnalyticCost(t *testing.T) {
+	// The microscopic simulation of one offloaded call — real mailbox, real
+	// strip-mined DMA — must agree with the analytic per-call cost that the
+	// table runs charge, within the discretization of batch rounding.
+	params := cell.DefaultParams()
+	cm := cell.DefaultCostModel()
+	ops := workload.Profile42SC().Classes[workload.Newview].PerCall
+
+	for _, stage := range []Stage{StageNaiveOffload, StageSDKExp, StageVectorCond, StageDoubleBuffer, StageVectorFP, StageDirectComm} {
+		rep, err := SimulateTransaction(params, cm, ops, stage, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc := costsFor(ops, stage, cm, 2048)
+		analytic := cc.speTotal() + cc.comm
+
+		got := float64(rep.TotalCycles)
+		// The machine's DMA uses its own startup/bandwidth parameters; the
+		// analytic model uses the memory-system constants. They are close
+		// but not identical, so compare within 12%.
+		if dev := math.Abs(got-analytic) / analytic; dev > 0.12 {
+			t.Errorf("%v: transaction %d cycles vs analytic %.0f (%.1f%% apart)",
+				stage, rep.TotalCycles, analytic, 100*dev)
+		}
+		if rep.Batches != 14 { // 228*128 bytes / 2048
+			t.Errorf("%v: %d batches", stage, rep.Batches)
+		}
+		if stage.doubleBuffered() {
+			// Compute dominates each 2 KB transfer, so almost all DMA hides.
+			if rep.DMAWaitCycles > rep.TotalCycles/20 {
+				t.Errorf("%v: double buffering left %d cycles of DMA stall (total %d)",
+					stage, rep.DMAWaitCycles, rep.TotalCycles)
+			}
+		} else if rep.DMAWaitCycles == 0 {
+			t.Errorf("%v: synchronous DMA shows no stall", stage)
+		}
+	}
+}
+
+func TestTransactionSignallingStyles(t *testing.T) {
+	params := cell.DefaultParams()
+	cm := cell.DefaultCostModel()
+	ops := workload.Profile42SC().Classes[workload.Newview].PerCall
+
+	mb, err := SimulateTransaction(params, cm, ops, StageVectorFP, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := SimulateTransaction(params, cm, ops, StageDirectComm, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.SignalCycles >= mb.SignalCycles {
+		t.Errorf("direct signalling (%d) not cheaper than mailbox (%d)", dc.SignalCycles, mb.SignalCycles)
+	}
+	if dc.TotalCycles >= mb.TotalCycles {
+		t.Errorf("direct-comm transaction (%d) not faster than mailbox (%d)", dc.TotalCycles, mb.TotalCycles)
+	}
+}
+
+func TestTransactionValidation(t *testing.T) {
+	params := cell.DefaultParams()
+	cm := cell.DefaultCostModel()
+	ops := workload.Profile42SC().Classes[workload.Newview].PerCall
+	if _, err := SimulateTransaction(params, cm, ops, StagePPEOnly, 2048); err == nil {
+		t.Error("PPE-only transaction accepted")
+	}
+	if _, err := SimulateTransaction(params, cm, ops, StageVectorFP, 1000); err == nil {
+		t.Error("unaligned batch size accepted")
+	}
+	if _, err := SimulateTransaction(params, cm, ops, StageVectorFP, 0); err == nil {
+		t.Error("zero batch size accepted")
+	}
+}

@@ -1,0 +1,306 @@
+// Package core is the top-level engine of the RAxML-Cell reproduction: it
+// ties the alignment, model, search, and master-worker layers into the two
+// workflows the paper describes — a full phylogenetic analysis (multiple
+// inferences plus non-parametric bootstrapping, yielding the best-known ML
+// tree with support values) and the Cell port pipeline (re-running a
+// measured workload on the simulated Cell Broadband Engine under any
+// optimization stage and scheduler).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/cell"
+	"raxmlcell/internal/cellrt"
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/model"
+	"raxmlcell/internal/mw"
+	"raxmlcell/internal/phylotree"
+	"raxmlcell/internal/search"
+	"raxmlcell/internal/workload"
+)
+
+// Config parameterizes an analysis.
+type Config struct {
+	Inferences int   // tree searches on the original alignment (>=1)
+	Bootstraps int   // bootstrap replicates (>=0)
+	Seed       int64 // master seed; every job seed derives from it
+	Workers    int   // parallel workers (the MPI process count)
+
+	Alpha float64 // initial Gamma shape (optimized during search)
+	Cats  int     // Gamma categories (default 4)
+
+	// StartTree selects the starting topology: "parsimony" (randomized
+	// stepwise addition, RAxML's method and the default), "nj"
+	// (neighbor joining on Jukes-Cantor distances), or "random".
+	StartTree string
+
+	// Checkpoint, when non-empty, persists every completed job to this
+	// file and resumes from it on restart (see mw.RunWithCheckpoint).
+	Checkpoint string
+
+	Search search.Options
+	Kernel likelihood.Config
+}
+
+// DefaultConfig is a publishable-analysis shape at laptop scale.
+func DefaultConfig() Config {
+	return Config{
+		Inferences: 3,
+		Bootstraps: 20,
+		Seed:       42,
+		Workers:    4,
+		Alpha:      0.8,
+		Cats:       4,
+		Search:     search.DefaultOptions(),
+	}
+}
+
+// Analysis is the outcome of a full run.
+type Analysis struct {
+	Best     *phylotree.Tree // best-known ML tree (aligned to the alignment's taxa)
+	BestLogL float64
+	Alpha    float64 // fitted Gamma shape of the best inference
+	Support  map[phylotree.Bipartition]float64
+	// Consensus is the majority-rule consensus of the bootstrap trees
+	// (nil when fewer than two bootstraps were run).
+	Consensus *phylotree.ConsensusNode
+	Results   []mw.JobResult   // every job, ordered (inferences then bootstraps)
+	Meter     likelihood.Meter // aggregate kernel operations across all jobs
+}
+
+// ModelFor builds a GTR+Γ model with empirical base frequencies from the
+// alignment and unit exchangeabilities (the starting point RAxML also uses
+// before model optimization).
+func ModelFor(pat *alignment.Patterns, alpha float64, cats int) (*model.Model, error) {
+	if cats <= 0 {
+		cats = 4
+	}
+	g, err := model.NewGTR([6]float64{1, 1, 1, 1, 1, 1}, pat.BaseFrequencies())
+	if err != nil {
+		return nil, err
+	}
+	return model.NewModel(g, alpha, cats)
+}
+
+// Analyze runs the complete master-worker analysis on the alignment.
+func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
+	if pat == nil {
+		return nil, fmt.Errorf("core: nil patterns")
+	}
+	if cfg.Inferences < 1 {
+		return nil, fmt.Errorf("core: need at least one inference")
+	}
+	mod, err := ModelFor(pat, cfg.Alpha, cfg.Cats)
+	if err != nil {
+		return nil, err
+	}
+	jobs := mw.Plan(cfg.Inferences, cfg.Bootstraps, cfg.Seed)
+	mwCfg := mw.Config{
+		Workers:   cfg.Workers,
+		StartTree: cfg.StartTree,
+		Search:    cfg.Search,
+		Kernel:    cfg.Kernel,
+	}
+	var results []mw.JobResult
+	var err2 error
+	if cfg.Checkpoint != "" {
+		results, err2 = mw.RunWithCheckpoint(pat, mod, jobs, mwCfg, cfg.Checkpoint)
+	} else {
+		results, err2 = mw.Run(pat, mod, jobs, mwCfg)
+	}
+	if err2 != nil {
+		return nil, err2
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("core: %v job %d: %w", r.Job.Kind, r.Job.Index, r.Err)
+		}
+	}
+
+	best, err := mw.Best(results, mw.Inference)
+	if err != nil {
+		return nil, err
+	}
+	bestTree, err := phylotree.ParseNewick(best.Newick)
+	if err != nil {
+		return nil, fmt.Errorf("core: parsing best tree: %w", err)
+	}
+	if err := bestTree.AlignTaxa(pat.Names); err != nil {
+		return nil, err
+	}
+
+	a := &Analysis{
+		Best:     bestTree,
+		BestLogL: best.LogL,
+		Alpha:    best.Alpha,
+		Results:  results,
+	}
+	for i := range results {
+		a.Meter.Add(&results[i].Meter)
+	}
+
+	if cfg.Bootstraps > 0 {
+		var boots []*phylotree.Tree
+		for _, r := range results {
+			if r.Job.Kind != mw.Bootstrap {
+				continue
+			}
+			bt, err := phylotree.ParseNewick(r.Newick)
+			if err != nil {
+				return nil, fmt.Errorf("core: parsing bootstrap tree %d: %w", r.Job.Index, err)
+			}
+			if err := bt.AlignTaxa(pat.Names); err != nil {
+				return nil, err
+			}
+			boots = append(boots, bt)
+		}
+		support, err := phylotree.SupportValues(bestTree, boots)
+		if err != nil {
+			return nil, err
+		}
+		a.Support = support
+		if len(boots) >= 2 {
+			cons, err := phylotree.MajorityRuleConsensus(boots, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			a.Consensus = cons
+		}
+	}
+	return a, nil
+}
+
+// InferOnce runs a single inference (no bootstrapping) and returns the tree
+// with its engine meter — the quick path used by examples and by the
+// trace-driven Cell simulation.
+func InferOnce(pat *alignment.Patterns, cfg Config) (*search.Result, *likelihood.Meter, error) {
+	mod, err := ModelFor(pat, cfg.Alpha, cfg.Cats)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start, err := StartingTree(pat, cfg.StartTree, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := likelihood.NewEngine(pat, mod, cfg.Kernel)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := search.Run(eng, start, cfg.Search)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &eng.Meter, nil
+}
+
+// InferCAT runs a Gamma-model inference and then re-fits the final tree
+// under a per-site rate-category (CAT) model with catCount categories —
+// RAxML's fast approximation of rate heterogeneity, and the mode whose
+// 25-category transition-matrix loop the paper's SPE measurements reflect.
+// It returns the search result (tree mutated in place, branch lengths
+// re-optimized under CAT), the CAT log-likelihood, and the combined meter.
+func InferCAT(pat *alignment.Patterns, cfg Config, catCount int) (*search.Result, float64, *likelihood.Meter, error) {
+	res, meter, err := InferOnce(pat, cfg)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	mod, err := ModelFor(pat, cfg.Alpha, cfg.Cats)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	eng, err := likelihood.NewEngine(pat, mod, cfg.Kernel)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	catModel, err := search.FitCAT(eng, res.Tree, catCount)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	catEng, err := likelihood.NewEngine(pat, catModel, cfg.Kernel)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	ll, err := search.SmoothBranches(catEng, res.Tree, 4, 0.01)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	var total likelihood.Meter
+	total.Add(meter)
+	total.Add(&eng.Meter)
+	total.Add(&catEng.Meter)
+	return res, ll, &total, nil
+}
+
+// AnalyzeAdaptive runs the analysis with bootstopping: bootstraps are added
+// in batches of step until the support values stabilize (the divergence of
+// the two half-samples drops below threshold) or maxBoots is reached — the
+// adaptive replicate-count criterion RAxML later shipped as bootstopping.
+// It returns the analysis over the replicates actually run, and the number
+// of bootstraps used. Set cfg.Checkpoint to avoid recomputing earlier
+// batches between rounds (jobs are seed-determined, so the checkpoint
+// satisfies each growing plan's prefix).
+func AnalyzeAdaptive(pat *alignment.Patterns, cfg Config, step, maxBoots int, threshold float64) (*Analysis, int, error) {
+	if step < 4 {
+		step = 4
+	}
+	if maxBoots < step {
+		maxBoots = step
+	}
+	if threshold <= 0 {
+		threshold = 0.03
+	}
+	for n := step; ; n += step {
+		if n > maxBoots {
+			n = maxBoots
+		}
+		run := cfg
+		run.Bootstraps = n
+		a, err := Analyze(pat, run)
+		if err != nil {
+			return nil, 0, err
+		}
+		var boots []*phylotree.Tree
+		for _, r := range a.Results {
+			if r.Job.Kind != mw.Bootstrap {
+				continue
+			}
+			bt, err := phylotree.ParseNewick(r.Newick)
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := bt.AlignTaxa(pat.Names); err != nil {
+				return nil, 0, err
+			}
+			boots = append(boots, bt)
+		}
+		div, err := phylotree.BootstopDivergence(a.Best, boots)
+		if err != nil {
+			return nil, 0, err
+		}
+		if div < threshold || n == maxBoots {
+			return a, n, nil
+		}
+	}
+}
+
+// StartingTree builds a starting topology of the requested kind; see
+// search.StartingTree.
+func StartingTree(pat *alignment.Patterns, kind string, rng *rand.Rand) (*phylotree.Tree, error) {
+	return search.StartingTree(pat, kind, rng)
+}
+
+// CellRun executes a workload profile on the simulated Cell — the bridge
+// from a real measured search (via workload.FromMeter) or the paper's 42_SC
+// profile to the Tables 1-8 machinery.
+func CellRun(prof workload.Profile, stage cellrt.Stage, sched cellrt.Scheduler, workers, searches int) (*cellrt.Report, error) {
+	return cellrt.Run(prof, cell.DefaultCostModel(), cell.DefaultParams(), cellrt.Config{
+		Stage:     stage,
+		Scheduler: sched,
+		Workers:   workers,
+		Searches:  searches,
+	})
+}

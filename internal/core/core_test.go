@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/cellrt"
+	"raxmlcell/internal/phylotree"
+	"raxmlcell/internal/search"
+	"raxmlcell/internal/seqsim"
+	"raxmlcell/internal/workload"
+)
+
+func testPatterns(t *testing.T, taxa, sites int, seed int64) (*alignment.Patterns, *phylotree.Tree) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a, truth, err := seqsim.Generate(seqsim.Params{
+		Taxa: taxa, Sites: sites, MeanBranch: 0.12, Alpha: 0.8,
+	}, seqsim.DefaultModel(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alignment.Compress(a), truth
+}
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Inferences = 2
+	cfg.Bootstraps = 5
+	cfg.Workers = 4
+	cfg.Search = search.Options{Radius: 3, MaxRounds: 2, SmoothPasses: 2, Epsilon: 0.05}
+	return cfg
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	pat, truth := testPatterns(t, 10, 600, 7)
+	a, err := Analyze(pat, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best == nil || a.BestLogL >= 0 {
+		t.Fatalf("bad best tree: logL=%v", a.BestLogL)
+	}
+	if err := a.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != 7 {
+		t.Errorf("results = %d", len(a.Results))
+	}
+	if len(a.Support) != 10-3 {
+		t.Errorf("support entries = %d, want 7", len(a.Support))
+	}
+	if a.Consensus == nil {
+		t.Fatal("no consensus tree despite 5 bootstraps")
+	}
+	if a.Consensus.CountClades() == 0 {
+		t.Error("consensus has no majority clades on high-signal data")
+	}
+	if a.Meter.NewviewCalls == 0 {
+		t.Error("aggregate meter empty")
+	}
+	// Recovered topology should be close to the truth on strong signal.
+	if err := truth.AlignTaxa(pat.Names); err != nil {
+		t.Fatal(err)
+	}
+	d, err := phylotree.RobinsonFoulds(truth, a.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 6 {
+		t.Errorf("best tree RF distance to truth = %d", d)
+	}
+	// BestLogL must be the max over inference results.
+	for _, r := range a.Results {
+		if r.Job.Kind.String() == "inference" && r.LogL > a.BestLogL {
+			t.Error("Analyze did not pick the best inference")
+		}
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	pat, _ := testPatterns(t, 6, 100, 8)
+	if _, err := Analyze(nil, fastConfig()); err == nil {
+		t.Error("nil patterns accepted")
+	}
+	cfg := fastConfig()
+	cfg.Inferences = 0
+	if _, err := Analyze(pat, cfg); err == nil {
+		t.Error("0 inferences accepted")
+	}
+}
+
+func TestAnalyzeNoBootstraps(t *testing.T) {
+	pat, _ := testPatterns(t, 7, 200, 9)
+	cfg := fastConfig()
+	cfg.Bootstraps = 0
+	a, err := Analyze(pat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Support != nil {
+		t.Error("support computed without bootstraps")
+	}
+}
+
+func TestInferOnceAndCellBridge(t *testing.T) {
+	pat, _ := testPatterns(t, 9, 300, 10)
+	cfg := fastConfig()
+	res, meter, err := InferOnce(pat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogL >= 0 || meter.NewviewCalls == 0 {
+		t.Fatalf("bad inference: %v / %v", res.LogL, meter)
+	}
+	// Bridge the measured workload onto the simulated Cell.
+	prof, err := workload.FromMeter("measured", meter, pat.NumPatterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppe, err := CellRun(prof, cellrt.StagePPEOnly, cellrt.SchedNaive, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := CellRun(prof, cellrt.StageAllOffloaded, cellrt.SchedMGPS, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppe.Seconds <= 0 || full.Seconds <= 0 {
+		t.Error("degenerate simulated timings")
+	}
+	// 8 searches under MGPS should take less than 8x one PPE search.
+	if full.Seconds >= 8*ppe.Seconds {
+		t.Errorf("MGPS (%.3fs for 8) not faster than 8x PPE-only (%.3fs each)", full.Seconds, ppe.Seconds)
+	}
+}
+
+func TestInferCAT(t *testing.T) {
+	pat, _ := testPatterns(t, 9, 500, 12)
+	cfg := fastConfig()
+	res, catLL, meter, err := InferCAT(pat, cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if catLL >= 0 || math.IsNaN(catLL) {
+		t.Errorf("CAT logL = %v", catLL)
+	}
+	if meter.NewviewCalls == 0 || meter.MakenewzCalls == 0 {
+		t.Error("combined meter empty")
+	}
+	if _, _, _, err := InferCAT(pat, cfg, 1); err == nil {
+		t.Error("CAT with 1 category accepted")
+	}
+}
+
+func TestAnalyzeAdaptiveBootstop(t *testing.T) {
+	// High-signal data: supports stabilize quickly, so bootstopping should
+	// halt well before the maximum. Use a checkpoint so the growing batches
+	// reuse earlier replicates.
+	pat, _ := testPatterns(t, 8, 1500, 21)
+	cfg := fastConfig()
+	cfg.Inferences = 1
+	cfg.Checkpoint = t.TempDir() + "/ckpt.json"
+	a, used, err := AnalyzeAdaptive(pat, cfg, 6, 36, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used < 6 || used > 36 {
+		t.Fatalf("used %d bootstraps", used)
+	}
+	if used == 36 {
+		t.Log("bootstopping hit the cap; supports unusually unstable for this data")
+	}
+	if a.Best == nil || len(a.Support) == 0 {
+		t.Fatal("adaptive analysis incomplete")
+	}
+	t.Logf("bootstopping used %d replicates", used)
+}
+
+func TestStartingTreeKinds(t *testing.T) {
+	pat, _ := testPatterns(t, 8, 300, 13)
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range []string{"", "parsimony", "nj", "random"} {
+		tr, err := StartingTree(pat, kind, rng)
+		if err != nil {
+			t.Fatalf("%q: %v", kind, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%q: %v", kind, err)
+		}
+		if tr.Taxa[0] != pat.Names[0] {
+			t.Errorf("%q: taxa not aligned to alignment order", kind)
+		}
+	}
+	if _, err := StartingTree(pat, "bogus", rng); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// NJ starting trees feed the full search path.
+	cfg := fastConfig()
+	cfg.StartTree = "nj"
+	res, _, err := InferOnce(pat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogL >= 0 {
+		t.Errorf("NJ-start inference logL = %v", res.LogL)
+	}
+}
+
+func TestModelFor(t *testing.T) {
+	pat, _ := testPatterns(t, 6, 200, 11)
+	m, err := ModelFor(pat, 0.7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCats() != 4 {
+		t.Errorf("cats = %d", m.NumCats())
+	}
+	sum := 0.0
+	for _, f := range m.GTR.Freqs {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("frequencies sum to %v", sum)
+	}
+	// Default category count.
+	m2, err := ModelFor(pat, 0.7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumCats() != 4 {
+		t.Errorf("default cats = %d", m2.NumCats())
+	}
+}

@@ -1,0 +1,196 @@
+// Package distance implements distance-based phylogenetics: pairwise
+// evolutionary distance estimation from alignments (Jukes-Cantor corrected)
+// and the neighbor-joining tree construction algorithm (Saitou & Nei 1987).
+// NJ trees are the classic alternative starting point to the randomized
+// parsimony trees RAxML uses, and a standard substrate of any phylogenetics
+// library.
+package distance
+
+import (
+	"fmt"
+	"math"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/bio"
+	"raxmlcell/internal/phylotree"
+)
+
+// Matrix is a symmetric pairwise distance matrix with taxon names.
+type Matrix struct {
+	Names []string
+	D     [][]float64
+}
+
+// NewMatrix allocates a zero matrix over the given taxa.
+func NewMatrix(names []string) *Matrix {
+	d := make([][]float64, len(names))
+	for i := range d {
+		d[i] = make([]float64, len(names))
+	}
+	return &Matrix{Names: append([]string(nil), names...), D: d}
+}
+
+// Set stores a symmetric entry.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.D[i][j] = v
+	m.D[j][i] = v
+}
+
+// maxJCDistance caps the correction when sequences approach saturation
+// (p >= 3/4 makes the JC log diverge).
+const maxJCDistance = 5.0
+
+// JukesCantor estimates pairwise distances d = -3/4 ln(1 - 4p/3) from the
+// proportion p of mismatching sites, counting only positions where both
+// sequences carry unambiguous bases, weighted by pattern multiplicity.
+func JukesCantor(pat *alignment.Patterns) (*Matrix, error) {
+	if pat == nil || pat.NumTaxa < 2 {
+		return nil, fmt.Errorf("distance: need >= 2 taxa")
+	}
+	m := NewMatrix(pat.Names)
+	n := pat.NumTaxa
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			diff, total := 0, 0
+			ri, rj := pat.Data[i], pat.Data[j]
+			for k := range ri {
+				ci, cj := ri[k], rj[k]
+				if bio.IsAmbiguous(ci) || bio.IsAmbiguous(cj) || ci == 0 || cj == 0 {
+					continue
+				}
+				w := pat.Weights[k]
+				total += w
+				if ci != cj {
+					diff += w
+				}
+			}
+			if total == 0 {
+				m.Set(i, j, maxJCDistance)
+				continue
+			}
+			p := float64(diff) / float64(total)
+			if p >= 0.75 {
+				m.Set(i, j, maxJCDistance)
+				continue
+			}
+			d := -0.75 * math.Log(1-4*p/3)
+			if d > maxJCDistance {
+				d = maxJCDistance
+			}
+			m.Set(i, j, d)
+		}
+	}
+	return m, nil
+}
+
+// NeighborJoining builds an unrooted binary tree from the distance matrix
+// with the Saitou-Nei algorithm: repeatedly join the pair minimizing the
+// Q criterion, assigning branch lengths by the standard formulas (negative
+// estimates clamped to the minimum branch length).
+func NeighborJoining(m *Matrix) (*phylotree.Tree, error) {
+	n := len(m.Names)
+	if n < 3 {
+		return nil, fmt.Errorf("distance: NJ needs >= 3 taxa, got %d", n)
+	}
+	tr, err := phylotree.NewTree(m.Names)
+	if err != nil {
+		return nil, err
+	}
+
+	// Working state: active cluster list; each cluster is represented by a
+	// detached directed record ready to be connected upward, plus a row of
+	// the evolving distance matrix.
+	type cluster struct {
+		attach *phylotree.Node // record to connect to the joining node
+	}
+	active := make([]cluster, n)
+	for i := 0; i < n; i++ {
+		active[i] = cluster{attach: tr.Tips[i]}
+	}
+	// Copy the distance matrix (it shrinks as clusters merge).
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = append([]float64(nil), m.D[i]...)
+	}
+
+	joinZ := func(v float64) float64 {
+		if v < phylotree.MinBranchLength {
+			return phylotree.MinBranchLength
+		}
+		return v
+	}
+
+	for len(active) > 3 {
+		k := len(active)
+		// Row sums.
+		r := make([]float64, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				r[i] += d[i][j]
+			}
+		}
+		// Minimize Q(i,j) = (k-2) d(i,j) - r_i - r_j.
+		bi, bj := 0, 1
+		best := math.Inf(1)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				q := float64(k-2)*d[i][j] - r[i] - r[j]
+				if q < best {
+					best, bi, bj = q, i, j
+				}
+			}
+		}
+		// Branch lengths from the joined pair to the new node.
+		zi := 0.5*d[bi][bj] + (r[bi]-r[bj])/(2*float64(k-2))
+		zj := d[bi][bj] - zi
+
+		u := tr.NewInternalRing()
+		ring := u.Ring()
+		phylotree.Connect(ring[1], active[bi].attach, joinZ(zi))
+		phylotree.Connect(ring[2], active[bj].attach, joinZ(zj))
+
+		// Distances from the new cluster to the rest.
+		newRow := make([]float64, 0, k-1)
+		var rest []cluster
+		var restIdx []int
+		for x := 0; x < k; x++ {
+			if x == bi || x == bj {
+				continue
+			}
+			newRow = append(newRow, 0.5*(d[bi][x]+d[bj][x]-d[bi][bj]))
+			rest = append(rest, active[x])
+			restIdx = append(restIdx, x)
+		}
+		// Rebuild the matrix with the new cluster appended last.
+		k2 := len(rest) + 1
+		nd := make([][]float64, k2)
+		for i := range nd {
+			nd[i] = make([]float64, k2)
+		}
+		for i := 0; i < len(rest); i++ {
+			for j := 0; j < len(rest); j++ {
+				nd[i][j] = d[restIdx[i]][restIdx[j]]
+			}
+			nd[i][k2-1] = newRow[i]
+			nd[k2-1][i] = newRow[i]
+		}
+		d = nd
+		active = append(rest, cluster{attach: ring[0]})
+	}
+
+	// Final three clusters join at one internal node with the standard
+	// three-point formulas.
+	u := tr.NewInternalRing()
+	ring := u.Ring()
+	za := 0.5 * (d[0][1] + d[0][2] - d[1][2])
+	zb := 0.5 * (d[0][1] + d[1][2] - d[0][2])
+	zc := 0.5 * (d[0][2] + d[1][2] - d[0][1])
+	phylotree.Connect(ring[0], active[0].attach, joinZ(za))
+	phylotree.Connect(ring[1], active[1].attach, joinZ(zb))
+	phylotree.Connect(ring[2], active[2].attach, joinZ(zc))
+
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("distance: NJ produced an invalid tree: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,230 @@
+package likelihood
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"raxmlcell/internal/model"
+)
+
+func TestCATSingleCategoryEqualsUniform(t *testing.T) {
+	// A CAT model where every pattern sits in one rate-1 category must give
+	// exactly the same likelihood as the plain single-category model.
+	rng := rand.New(rand.NewSource(301))
+	pat := randomPatterns(t, rng, 10, 60)
+	m := randomModel(t, rng, 1) // ncat forced below
+	gtr := m.GTR
+	tr := randomTreeFor(t, rng, pat)
+
+	uni := &model.Model{GTR: gtr, Cats: []float64{1}}
+	engUni, err := NewEngine(pat, uni, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	llUni, err := engUni.Evaluate(tr.Tips[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assign := make([]int, pat.NumPatterns())
+	cat, err := model.NewCATModel(gtr, []float64{1}, assign, pat.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engCat, err := NewEngine(pat, cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	llCat, err := engCat.Evaluate(tr.Tips[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llCat != llUni {
+		t.Errorf("CAT single category %.12f != uniform %.12f", llCat, llUni)
+	}
+}
+
+func TestCATMatchesPerRateDecomposition(t *testing.T) {
+	// A 2-category CAT likelihood must equal the sum, over patterns, of the
+	// per-site log likelihoods computed by single-rate engines at each
+	// pattern's assigned rate.
+	rng := rand.New(rand.NewSource(302))
+	pat := randomPatterns(t, rng, 8, 50)
+	m := randomModel(t, rng, 1)
+	gtr := m.GTR
+	tr := randomTreeFor(t, rng, pat)
+
+	np := pat.NumPatterns()
+	assign := make([]int, np)
+	for i := range assign {
+		assign[i] = i % 2
+	}
+	rates := []float64{0.4, 1.9}
+	cat, err := model.NewCATModel(gtr, rates, assign, pat.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engCat, err := NewEngine(pat, cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	llCat, err := engCat.Evaluate(tr.Tips[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: per-site logs from two fixed-rate engines using the
+	// *normalized* CAT rates.
+	want := 0.0
+	for ci, rate := range cat.Cats {
+		single := &model.Model{GTR: gtr, Cats: []float64{rate}}
+		probe, err := NewEngine(pat, single, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perSite, err := probe.PerSiteLogL(tr.Tips[0], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < np; p++ {
+			if assign[p] == ci {
+				want += float64(pat.Weights[p]) * perSite[p]
+			}
+		}
+	}
+	if math.Abs(llCat-want) > 1e-8*math.Abs(want) {
+		t.Errorf("CAT logL %.10f != per-rate decomposition %.10f", llCat, want)
+	}
+}
+
+func TestCATNormalization(t *testing.T) {
+	// NewCATModel normalizes to weighted mean rate 1.
+	rng := rand.New(rand.NewSource(303))
+	pat := randomPatterns(t, rng, 6, 40)
+	gtr := randomModel(t, rng, 1).GTR
+	np := pat.NumPatterns()
+	assign := make([]int, np)
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	cat, err := model.NewCATModel(gtr, []float64{0.1, 1, 5}, assign, pat.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, wsum := 0.0, 0.0
+	for p, c := range cat.PatCat {
+		sum += float64(pat.Weights[p]) * cat.Cats[c]
+		wsum += float64(pat.Weights[p])
+	}
+	if math.Abs(sum/wsum-1) > 1e-12 {
+		t.Errorf("weighted mean rate = %g, want 1", sum/wsum)
+	}
+	if !cat.IsCAT() {
+		t.Error("IsCAT false")
+	}
+}
+
+func TestCATModelValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	pat := randomPatterns(t, rng, 5, 20)
+	gtr := randomModel(t, rng, 1).GTR
+	np := pat.NumPatterns()
+	good := make([]int, np)
+	if _, err := model.NewCATModel(nil, []float64{1}, good, pat.Weights); err == nil {
+		t.Error("nil GTR accepted")
+	}
+	if _, err := model.NewCATModel(gtr, nil, good, pat.Weights); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if _, err := model.NewCATModel(gtr, []float64{-1}, good, pat.Weights); err == nil {
+		t.Error("negative rate accepted")
+	}
+	bad := make([]int, np)
+	bad[0] = 7
+	if _, err := model.NewCATModel(gtr, []float64{1}, bad, pat.Weights); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	if _, err := model.NewCATModel(gtr, []float64{1}, good, pat.Weights[:1]); err == nil && np > 1 {
+		t.Error("weight length mismatch accepted")
+	}
+}
+
+func TestCATEngineLayoutGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	pat := randomPatterns(t, rng, 6, 30)
+	gtr := randomModel(t, rng, 1).GTR
+	np := pat.NumPatterns()
+	assign := make([]int, np)
+	cat, err := model.NewCATModel(gtr, []float64{0.5, 1.5}, assign, pat.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(pat, cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swapping to a Gamma model in place must be rejected.
+	gamma, err := model.NewModel(gtr, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetModel(gamma); err == nil {
+		t.Error("CAT->Gamma in-place swap accepted")
+	}
+	// Wrong-length assignment rejected at construction.
+	bad, err := model.NewCATModel(gtr, []float64{1, 1.5}, make([]int, 3), []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np != 3 {
+		if _, err := NewEngine(pat, bad, Config{}); err == nil {
+			t.Error("mismatched CAT assignment accepted by engine")
+		}
+	}
+}
+
+func TestCATBranchOptimizationWorks(t *testing.T) {
+	// MakeNewz under CAT must behave like under Gamma: improve and be
+	// locally optimal.
+	rng := rand.New(rand.NewSource(306))
+	pat := randomPatterns(t, rng, 8, 60)
+	gtr := randomModel(t, rng, 1).GTR
+	tr := randomTreeFor(t, rng, pat)
+	np := pat.NumPatterns()
+	assign := make([]int, np)
+	for i := range assign {
+		assign[i] = i % 4
+	}
+	cat, err := model.NewCATModel(gtr, []float64{0.2, 0.7, 1.4, 3.0}, assign, pat.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(pat, cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := tr.Edges()[3]
+	before, err := eng.Evaluate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, after, err := eng.MakeNewz(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < before-1e-9 {
+		t.Errorf("CAT MakeNewz worsened logL: %.6f -> %.6f", before, after)
+	}
+	z := e.Z
+	for _, nz := range []float64{z * 0.8, z * 1.25} {
+		e.SetZ(nz)
+		ll, err := eng.Evaluate(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ll > after+1e-6*math.Abs(after)+1e-9 {
+			t.Errorf("perturbed z beats CAT optimum: %.8f > %.8f", ll, after)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package likelihood
+
+import (
+	"fmt"
+	"math"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/model"
+	"raxmlcell/internal/phylotree"
+)
+
+const ns = model.NumStates
+
+// Numerical scaling constants (RAxML's twotothe256/minlikelihood scheme):
+// when every entry of a pattern's partial vector drops below MinLikelihood,
+// the vector is multiplied by 2^256 and a per-pattern scaling counter is
+// incremented; evaluate() folds the counters back in log space.
+var (
+	TwoTo256      = math.Ldexp(1, 256)
+	MinLikelihood = math.Ldexp(1, -256)
+	logMinLik     = math.Log(MinLikelihood)
+)
+
+// Config selects the kernel variants corresponding to the paper's
+// optimization steps. All variants compute the same numerical result; they
+// differ in instruction mix (metered) and, for SDKExp, in the exp()
+// implementation actually used.
+type Config struct {
+	SDKExp   bool // Section 5.2.2: SDK numerical exp() instead of libm exp()
+	IntCond  bool // Section 5.2.3: integer-cast, vectorized scaling conditional
+	VectorFP bool // Section 5.2.5: SIMD packing of the two FP loops (metering)
+
+	// Threads > 1 parallelizes the per-pattern kernel loops over a
+	// goroutine pool — the shared-memory loop-level parallelism of
+	// RAxML-OMP that the paper's LLP scheduler maps onto SPEs. Partial
+	// vectors are bit-identical to the serial kernels; log-likelihood
+	// reductions may differ by floating point summation order.
+	Threads int
+}
+
+// Engine computes likelihoods of trees over one compressed alignment and one
+// substitution model. It owns the partial likelihood vectors for every node
+// index and a Meter of kernel operations.
+//
+// The engine recomputes partial vectors on demand with a per-call traversal
+// (no persistent validity cache): at the problem sizes of the paper's
+// workload this is microseconds per evaluation, and it keeps the kernels
+// free of invalidation subtleties.
+type Engine struct {
+	Pat   *alignment.Patterns
+	Mod   *model.Model
+	Cfg   Config
+	Meter Meter
+
+	npat, ncat int // ncat is the per-site storage width (1 under CAT)
+	nmat       int // distinct rate categories = transition matrices
+	patCat     []int
+	invCats    float64     // per-site averaging weight (1 under CAT)
+	lv         [][]float64 // [nodeIndex][pat*ncat*ns + cat*ns + state]
+	scale      [][]int32   // [nodeIndex][pat] cumulative scaling counts
+	tipVec     [16][ns]float64
+	expFn      func(float64) float64
+
+	// Scratch buffers reused across invocations.
+	pLeft, pRight  []float64 // [cat*ns*ns + i*ns + j]
+	tipPL, tipPR   []float64 // [cat*16*ns + code*ns + i]
+	underflowSites uint64
+
+	// Buffer pools for Views (lazy-SPR directed-vector caches).
+	lvPool [][]float64
+	scPool [][]int32
+}
+
+// NewEngine allocates an engine for trees over pat's taxa with the given
+// model and kernel configuration.
+func NewEngine(pat *alignment.Patterns, mod *model.Model, cfg Config) (*Engine, error) {
+	if pat == nil || mod == nil {
+		return nil, fmt.Errorf("likelihood: nil patterns or model")
+	}
+	if pat.NumTaxa < 3 {
+		return nil, fmt.Errorf("likelihood: need >= 3 taxa, got %d", pat.NumTaxa)
+	}
+	e := &Engine{
+		Pat:  pat,
+		Mod:  mod,
+		Cfg:  cfg,
+		npat: pat.NumPatterns(),
+		nmat: mod.NumCats(),
+	}
+	if mod.IsCAT() {
+		if len(mod.PatCat) != e.npat {
+			return nil, fmt.Errorf("likelihood: CAT assignment covers %d patterns, alignment has %d",
+				len(mod.PatCat), e.npat)
+		}
+		// CAT stores one category per site; the matrix index comes from the
+		// per-pattern assignment and sites are not averaged.
+		e.ncat = 1
+		e.patCat = mod.PatCat
+		e.invCats = 1
+	} else {
+		e.ncat = mod.NumCats()
+		e.invCats = 1 / float64(e.ncat)
+	}
+	maxIdx := 2*pat.NumTaxa - 2
+	e.lv = make([][]float64, maxIdx)
+	e.scale = make([][]int32, maxIdx)
+	for i := pat.NumTaxa; i < maxIdx; i++ {
+		e.lv[i] = make([]float64, e.npat*e.ncat*ns)
+		e.scale[i] = make([]int32, e.npat)
+	}
+	for code := 0; code < 16; code++ {
+		for j := 0; j < ns; j++ {
+			if code&(1<<j) != 0 {
+				e.tipVec[code][j] = 1
+			}
+		}
+	}
+	e.expFn = math.Exp
+	if cfg.SDKExp {
+		e.expFn = FastExp
+	}
+	e.pLeft = make([]float64, e.nmat*ns*ns)
+	e.pRight = make([]float64, e.nmat*ns*ns)
+	e.tipPL = make([]float64, e.nmat*16*ns)
+	e.tipPR = make([]float64, e.nmat*16*ns)
+	return e, nil
+}
+
+// matIdx maps a pattern and storage-category slot to the transition-matrix
+// index: the identity for Gamma, the per-pattern assignment for CAT.
+func (e *Engine) matIdx(pat, c int) int {
+	if e.patCat != nil {
+		return e.patCat[pat]
+	}
+	return c
+}
+
+// SetModel swaps the substitution model (e.g. during Gamma shape or GTR
+// rate optimization). The rate-heterogeneity layout (Gamma vs CAT, category
+// count) must match the engine's buffers; switching layouts requires a new
+// engine.
+func (e *Engine) SetModel(mod *model.Model) error {
+	if mod == nil {
+		return fmt.Errorf("likelihood: nil model")
+	}
+	if mod.NumCats() != e.nmat {
+		return fmt.Errorf("likelihood: category count %d != engine's %d", mod.NumCats(), e.nmat)
+	}
+	if mod.IsCAT() != (e.patCat != nil) {
+		return fmt.Errorf("likelihood: cannot switch between Gamma and CAT layouts in place")
+	}
+	if mod.IsCAT() {
+		e.patCat = mod.PatCat
+	}
+	e.Mod = mod
+	return nil
+}
+
+// SetWeights swaps the per-pattern weights (bootstrap replicates share
+// pattern data and only differ in weights). The weight vector length must
+// match the pattern count.
+func (e *Engine) SetWeights(weights []int) error {
+	p, err := e.Pat.WithWeights(weights)
+	if err != nil {
+		return fmt.Errorf("likelihood: %w", err)
+	}
+	e.Pat = p
+	return nil
+}
+
+// UnderflowSites reports how many site-likelihood evaluations had to be
+// clamped at the smallest representable magnitude (should stay 0 when
+// scaling works).
+func (e *Engine) UnderflowSites() uint64 { return e.underflowSites }
+
+// transitionMatrices fills dst (layout [cat][i][j]) with P(z·rate_c) for
+// every rate category. This is the paper's "first loop" (4-25 iterations,
+// 36 FP ops each) and the home of the exp() calls that dominated the naive
+// SPE port.
+func (e *Engine) transitionMatrices(z float64, dst []float64) {
+	g := e.Mod.GTR
+	for c := 0; c < e.nmat; c++ {
+		tr := z * e.Mod.Cats[c]
+		var expl [ns]float64
+		for k := 0; k < ns; k++ {
+			expl[k] = e.expFn(g.Lambda[k] * tr)
+		}
+		e.Meter.Exps += ns
+		e.Meter.Muls += ns // lambda*tr
+		base := c * ns * ns
+		for i := 0; i < ns; i++ {
+			for j := 0; j < ns; j++ {
+				s := 0.0
+				for k := 0; k < ns; k++ {
+					s += g.V[i][k] * expl[k] * g.VInv[k][j]
+				}
+				if s < 0 {
+					s = 0
+				}
+				dst[base+i*ns+j] = s
+			}
+		}
+		e.Meter.Muls += ns * ns * 2 * ns
+		e.Meter.Adds += ns * ns * (ns - 1)
+		e.Meter.SmallLoopIters++
+	}
+}
+
+// tipProjection fills dst (layout [cat][code][i]) with P·tipvec for all 16
+// ambiguity codes: the RAxML tip-case specialization that replaces a full
+// per-pattern matrix-vector product by a table lookup.
+func (e *Engine) tipProjection(p []float64, dst []float64) {
+	for c := 0; c < e.nmat; c++ {
+		pc := p[c*ns*ns:]
+		for code := 0; code < 16; code++ {
+			tv := &e.tipVec[code]
+			for i := 0; i < ns; i++ {
+				s := 0.0
+				for j := 0; j < ns; j++ {
+					s += pc[i*ns+j] * tv[j]
+				}
+				dst[c*16*ns+code*ns+i] = s
+			}
+		}
+	}
+	e.Meter.Muls += uint64(e.nmat * 16 * ns * ns)
+	e.Meter.Adds += uint64(e.nmat * 16 * ns * (ns - 1))
+}
+
+// NewView computes the partial likelihood vector for the internal ring
+// record p — the conditional likelihood of the subtree behind p's two other
+// ring members — recursing into child subtrees first, exactly like the
+// paper's newview() (which "calls itself recursively when the two children
+// are not tips"). Tips need no computation.
+func (e *Engine) NewView(p *phylotree.Node) {
+	if p.IsTip() {
+		return
+	}
+	q := p.Next.Back
+	r := p.Next.Next.Back
+	e.NewView(q)
+	e.NewView(r)
+
+	var qLv, rLv []float64
+	var qScale, rScale []int32
+	if !q.IsTip() {
+		qLv, qScale = e.lv[q.Index], e.scale[q.Index]
+	}
+	if !r.IsTip() {
+		rLv, rScale = e.lv[r.Index], e.scale[r.Index]
+	}
+	e.combine(q, p.Next.Z, qLv, qScale, r, p.Next.Next.Z, rLv, rScale,
+		e.lv[p.Index], e.scale[p.Index])
+}
+
+// needsScaling implements the 8-condition check
+// if (ABS(x3->a) < ml && ABS(x3->c) < ml && ABS(x3->g) < ml && ABS(x3->t) < ml)
+// generalized over rate categories, in one of two variants:
+//
+// Scalar (paper's original): float ABS + float compare with early exit —
+// branchy and mispredict-prone on the SPE.
+//
+// IntCond (Section 5.2.3): sign-bit masking via the raw IEEE-754 bits and
+// unsigned integer comparison (valid because lexicographic ordering of IEEE
+// floats matches integer ordering for non-negative values), combined
+// branchlessly and tested once.
+func (e *Engine) needsScaling(v []float64) bool {
+	e.Meter.ScaleChecks++
+	return e.needsScalingPure(v)
+}
+
+// needsScalingPure is the check without meter side effects, safe for
+// concurrent use by the parallel kernels (callers count checks themselves).
+func (e *Engine) needsScalingPure(v []float64) bool {
+	if e.Cfg.IntCond {
+		limit := math.Float64bits(MinLikelihood)
+		const signMask = 1<<63 - 1
+		all := uint64(1)
+		for _, x := range v {
+			bits := math.Float64bits(x) & signMask // ABS via bitwise AND
+			var below uint64
+			if bits < limit {
+				below = 1
+			}
+			all &= below
+		}
+		return all == 1
+	}
+	for _, x := range v {
+		if !(math.Abs(x) < MinLikelihood) {
+			return false
+		}
+	}
+	return true
+}
+
+// Evaluate computes the log-likelihood of the tree across the branch
+// (p, p.Back), recomputing the partial vectors it needs. This is the
+// paper's evaluate(): a weighted sum over the partial likelihood vector
+// entries with the scaling counters folded back in log space.
+func (e *Engine) Evaluate(p *phylotree.Node) (float64, error) {
+	return e.evaluate(p, nil)
+}
+
+// PerSiteLogL computes the per-pattern log likelihoods (unweighted) across
+// the branch (p, p.Back), filling dst (allocated if nil or short). The CAT
+// rate-fitting machinery uses these to pick each site's best rate category.
+func (e *Engine) PerSiteLogL(p *phylotree.Node, dst []float64) ([]float64, error) {
+	if cap(dst) < e.npat {
+		dst = make([]float64, e.npat)
+	}
+	dst = dst[:e.npat]
+	if _, err := e.evaluate(p, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func (e *Engine) evaluate(p *phylotree.Node, perSite []float64) (float64, error) {
+	q := p.Back
+	if q == nil {
+		return 0, fmt.Errorf("likelihood: Evaluate on detached branch")
+	}
+	if p.IsTip() && q.IsTip() {
+		return 0, fmt.Errorf("likelihood: tip-tip branch cannot exist in an unrooted tree with >= 3 taxa")
+	}
+	// Orient so that q is the (possibly) tip side.
+	if p.IsTip() {
+		p, q = q, p
+	}
+	e.NewView(p)
+	e.NewView(q)
+	e.Meter.EvaluateCalls++
+
+	e.transitionMatrices(p.Z, e.pLeft)
+	freqs := &e.Mod.GTR.Freqs
+	ncat := e.ncat
+
+	pLv := e.lv[p.Index]
+	pScale := e.scale[p.Index]
+	var qData []byte
+	var qLv []float64
+	var qScale []int32
+	if q.IsTip() {
+		qData = e.Pat.Data[q.Index]
+		e.tipProjection(e.pLeft, e.tipPR)
+	} else {
+		qLv = e.lv[q.Index]
+		qScale = e.scale[q.Index]
+	}
+
+	work := func(pr patRange) (float64, combineStats, uint64) {
+		var st combineStats
+		var underflow uint64
+		sum := 0.0
+		for pat := pr.lo; pat < pr.hi; pat++ {
+			base := pat * ncat * ns
+			site := 0.0
+			for c := 0; c < ncat; c++ {
+				mi := e.matIdx(pat, c)
+				x := pLv[base+c*ns:]
+				var proj [ns]float64
+				if qData != nil {
+					code := qData[pat] & 0x0f
+					copy(proj[:], e.tipPR[mi*16*ns+int(code)*ns:][:ns])
+				} else {
+					pc := e.pLeft[mi*ns*ns:]
+					y := qLv[base+c*ns:]
+					for i := 0; i < ns; i++ {
+						proj[i] = pc[i*ns]*y[0] + pc[i*ns+1]*y[1] + pc[i*ns+2]*y[2] + pc[i*ns+3]*y[3]
+					}
+					st.muls += ns * ns
+					st.adds += ns * (ns - 1)
+				}
+				for i := 0; i < ns; i++ {
+					site += freqs[i] * x[i] * proj[i]
+				}
+				st.muls += 2 * ns
+				st.adds += ns
+			}
+			site *= e.invCats
+			st.muls++
+			sc := pScale[pat]
+			if qScale != nil {
+				sc += qScale[pat]
+			}
+			if site <= 0 || math.IsNaN(site) {
+				underflow++
+				site = math.SmallestNonzeroFloat64
+			}
+			siteLog := math.Log(site) + float64(sc)*logMinLik
+			if perSite != nil {
+				perSite[pat] = siteLog
+			}
+			sum += float64(e.Pat.Weights[pat]) * siteLog
+			st.bigIters++ // doubles as the per-pattern log count here
+			st.muls += 2
+			st.adds += 2
+		}
+		return sum, st, underflow
+	}
+
+	logL := 0.0
+	var total combineStats
+	var underflow uint64
+	if e.parallel() {
+		ranges := e.splitPatterns()
+		sums := make([]float64, len(ranges))
+		stats := make([]combineStats, len(ranges))
+		unders := make([]uint64, len(ranges))
+		e.runParallel(func(pr patRange, slot int) {
+			sums[slot], stats[slot], unders[slot] = work(pr)
+		})
+		for i := range sums {
+			logL += sums[i]
+			total.add(stats[i])
+			underflow += unders[i]
+		}
+	} else {
+		logL, total, underflow = work(patRange{0, e.npat})
+	}
+	e.Meter.Muls += total.muls
+	e.Meter.Adds += total.adds
+	e.Meter.Logs += total.bigIters
+	e.underflowSites += underflow
+	return logL, nil
+}

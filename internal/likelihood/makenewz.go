@@ -1,0 +1,160 @@
+package likelihood
+
+import (
+	"fmt"
+	"math"
+
+	"raxmlcell/internal/phylotree"
+)
+
+// newtonMaxIter bounds the Newton-Raphson iteration count per branch.
+const newtonMaxIter = 64
+
+// newtonTol is the convergence tolerance on the branch length.
+const newtonTol = 1e-9
+
+// MakeNewz optimizes the length of the branch (p, p.Back) with respect to
+// the tree likelihood using Newton-Raphson, the paper's makenewz(). As in
+// RAxML it first ensures the partial vectors at both branch ends are
+// current (calling newview), then iterates on a per-pattern eigenmode sum
+// table: the site likelihood along a branch is
+//
+//	L(t) = (1/C) Σ_c Σ_k A[pat,c,k] · exp(λ_k r_c t)
+//
+// so first and second derivatives come from the same table. The optimized
+// length is written back to the branch and returned together with the
+// log-likelihood at the optimum.
+func (e *Engine) MakeNewz(p *phylotree.Node) (float64, float64, error) {
+	q := p.Back
+	if q == nil {
+		return 0, 0, fmt.Errorf("likelihood: MakeNewz on detached branch")
+	}
+	if p.IsTip() && q.IsTip() {
+		return 0, 0, fmt.Errorf("likelihood: tip-tip branch")
+	}
+	if p.IsTip() {
+		p, q = q, p
+	}
+	e.NewView(p)
+	e.NewView(q)
+	e.Meter.MakenewzCalls++
+
+	g := e.Mod.GTR
+	ncat := e.ncat
+
+	// Build the sum table A[pat][c][k] and the constant per-pattern scaling
+	// offsets (independent of t).
+	sumTab := make([]float64, e.npat*ncat*ns)
+	scaleConst := 0.0
+
+	pLv := e.lv[p.Index]
+	pScale := e.scale[p.Index]
+	var qData []byte
+	var qLv []float64
+	var qScale []int32
+	if q.IsTip() {
+		qData = e.Pat.Data[q.Index]
+	} else {
+		qLv = e.lv[q.Index]
+		qScale = e.scale[q.Index]
+	}
+
+	var muls, adds uint64
+	for pat := 0; pat < e.npat; pat++ {
+		base := pat * ncat * ns
+		sc := pScale[pat]
+		if qScale != nil {
+			sc += qScale[pat]
+		}
+		scaleConst += float64(e.Pat.Weights[pat]) * float64(sc) * logMinLik
+		for c := 0; c < ncat; c++ {
+			x := pLv[base+c*ns:]
+			var y [ns]float64
+			if qData != nil {
+				y = e.tipVec[qData[pat]&0x0f]
+			} else {
+				copy(y[:], qLv[base+c*ns:][:ns])
+			}
+			for k := 0; k < ns; k++ {
+				a := 0.0
+				b := 0.0
+				for i := 0; i < ns; i++ {
+					a += g.Freqs[i] * x[i] * g.V[i][k]
+					b += g.VInv[k][i] * y[i]
+				}
+				sumTab[base+c*ns+k] = a * b
+			}
+			muls += ns * (2*ns + ns + 1)
+			adds += ns * 2 * (ns - 1)
+		}
+	}
+	e.Meter.Muls += muls
+	e.Meter.Adds += adds
+
+	// lamr[matrix][k] = λ_k · r_c, one block per distinct rate category.
+	lamr := make([]float64, e.nmat*ns)
+	for c := 0; c < e.nmat; c++ {
+		for k := 0; k < ns; k++ {
+			lamr[c*ns+k] = g.Lambda[k] * e.Mod.Cats[c]
+		}
+	}
+	e.Meter.Muls += uint64(e.nmat * ns)
+
+	weights := e.Pat.Weights
+	// likelihoodAt evaluates logL, dlogL/dt and d2logL/dt2 at t.
+	likelihoodAt := func(t float64) (ll, d1, d2 float64) {
+		e0 := make([]float64, e.nmat*ns) // exp(λrt)
+		e1 := make([]float64, e.nmat*ns) // λr·exp
+		e2 := make([]float64, e.nmat*ns) // (λr)²·exp
+		for i, lr := range lamr {
+			ex := e.expFn(lr * t)
+			e0[i] = ex
+			e1[i] = lr * ex
+			e2[i] = lr * lr * ex
+		}
+		e.Meter.Exps += uint64(e.nmat * ns)
+		e.Meter.Muls += uint64(3 * e.nmat * ns)
+		ll, d1, d2 = e.newtonReduce(sumTab, e0, e1, e2, weights)
+		return ll + scaleConst, d1, d2
+	}
+
+	t := p.Z
+	bestT, bestLL := t, math.Inf(-1)
+	for iter := 0; iter < newtonMaxIter; iter++ {
+		e.Meter.NewtonIters++
+		ll, d1, d2 := likelihoodAt(t)
+		if ll > bestLL {
+			bestLL, bestT = ll, t
+		}
+		var next float64
+		if d2 < 0 {
+			next = t - d1/d2
+		} else {
+			// Not locally concave: move along the gradient geometrically.
+			if d1 > 0 {
+				next = t * 2
+			} else {
+				next = t / 2
+			}
+		}
+		if next < phylotree.MinBranchLength {
+			next = phylotree.MinBranchLength
+		}
+		if next > phylotree.MaxBranchLength {
+			next = phylotree.MaxBranchLength
+		}
+		if math.Abs(next-t) < newtonTol*(1+t) {
+			t = next
+			break
+		}
+		t = next
+	}
+	// Evaluate at the final t; keep the best seen point (Newton can
+	// overshoot on flat likelihood surfaces).
+	ll, _, _ := likelihoodAt(t)
+	if ll >= bestLL {
+		bestLL, bestT = ll, t
+	}
+	p.SetZ(bestT)
+	return bestT, bestLL, nil
+}

@@ -1,0 +1,143 @@
+package likelihood
+
+import (
+	"math"
+	"sync"
+)
+
+// Reduction helpers shared with the serial kernels.
+const minPositive = math.SmallestNonzeroFloat64
+
+var logFn = math.Log
+
+// The paper's RAxML lineage includes RAxML-OMP, which parallelizes the
+// likelihood loops over alignment sites on shared-memory machines; the
+// Cell port's LLP scheduler is the same idea mapped onto SPEs. This file is
+// the real Go analogue: when Config.Threads > 1 the per-pattern loops of
+// the kernels fan out over a fixed pool of goroutines, each accumulating
+// into private counters that are merged afterwards, so results match the
+// serial kernels (bit-for-bit for partial vectors; up to floating point
+// summation order for reductions).
+
+// parallelThreshold is the minimum number of patterns per goroutine that
+// makes the fan-out worthwhile.
+const parallelThreshold = 64
+
+// parallel reports whether kernels should fan out.
+func (e *Engine) parallel() bool {
+	return e.Cfg.Threads > 1 && e.npat >= parallelThreshold
+}
+
+// patRange describes one goroutine's slice of the pattern loop.
+type patRange struct{ lo, hi int }
+
+// combineStats are the per-range meter contributions of the newview loop.
+type combineStats struct {
+	muls, adds               uint64
+	bigIters                 uint64
+	scaleChecks, scaleEvents uint64
+}
+
+func (s *combineStats) add(o combineStats) {
+	s.muls += o.muls
+	s.adds += o.adds
+	s.bigIters += o.bigIters
+	s.scaleChecks += o.scaleChecks
+	s.scaleEvents += o.scaleEvents
+}
+
+// splitPatterns partitions [0, npat) into at most Threads ranges.
+func (e *Engine) splitPatterns() []patRange {
+	n := e.Cfg.Threads
+	if n > e.npat {
+		n = e.npat
+	}
+	out := make([]patRange, 0, n)
+	chunk := (e.npat + n - 1) / n
+	for lo := 0; lo < e.npat; lo += chunk {
+		hi := lo + chunk
+		if hi > e.npat {
+			hi = e.npat
+		}
+		out = append(out, patRange{lo, hi})
+	}
+	return out
+}
+
+// runParallel executes fn over the pattern ranges on worker goroutines.
+func (e *Engine) runParallel(fn func(r patRange, slot int)) {
+	ranges := e.splitPatterns()
+	var wg sync.WaitGroup
+	for slot, r := range ranges {
+		wg.Add(1)
+		go func(r patRange, slot int) {
+			defer wg.Done()
+			fn(r, slot)
+		}(r, slot)
+	}
+	wg.Wait()
+}
+
+// newtonReduce computes the weighted (logL, d1, d2) triple of the Newton
+// iteration from a sum table and the per-matrix exponential blocks — the
+// reduction shared by MakeNewz and the lazy-SPR scorer, parallelized over
+// patterns when the engine is threaded.
+func (e *Engine) newtonReduce(sumTab, e0, e1, e2 []float64, weights []int) (ll, d1, d2 float64) {
+	ncat := e.ncat
+	work := func(pr patRange) (sll, sd1, sd2 float64, underflow, logs uint64) {
+		for pat := pr.lo; pat < pr.hi; pat++ {
+			base := pat * ncat * ns
+			var L, L1, L2 float64
+			for c := 0; c < ncat; c++ {
+				mb := e.matIdx(pat, c) * ns
+				for k := 0; k < ns; k++ {
+					a := sumTab[base+c*ns+k]
+					L += a * e0[mb+k]
+					L1 += a * e1[mb+k]
+					L2 += a * e2[mb+k]
+				}
+			}
+			L *= e.invCats
+			L1 *= e.invCats
+			L2 *= e.invCats
+			if L < minPositive {
+				underflow++
+				L = minPositive
+			}
+			w := float64(weights[pat])
+			sll += w * logFn(L)
+			sd1 += w * (L1 / L)
+			sd2 += w * (L2/L - (L1/L)*(L1/L))
+			logs++
+		}
+		return
+	}
+
+	var underflow, logs uint64
+	if e.parallel() {
+		ranges := e.splitPatterns()
+		type part struct {
+			ll, d1, d2 float64
+			uf, lg     uint64
+		}
+		parts := make([]part, len(ranges))
+		e.runParallel(func(pr patRange, slot int) {
+			p := &parts[slot]
+			p.ll, p.d1, p.d2, p.uf, p.lg = work(pr)
+		})
+		for _, p := range parts {
+			ll += p.ll
+			d1 += p.d1
+			d2 += p.d2
+			underflow += p.uf
+			logs += p.lg
+		}
+	} else {
+		ll, d1, d2, underflow, logs = work(patRange{0, e.npat})
+	}
+	e.underflowSites += underflow
+	e.Meter.Logs += logs
+	e.Meter.Muls += uint64(3*e.npat*ncat*ns + 3*e.nmat*ns)
+	e.Meter.Adds += uint64(3 * e.npat * ncat * ns)
+	return ll, d1, d2
+}

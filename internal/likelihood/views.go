@@ -1,0 +1,364 @@
+package likelihood
+
+import (
+	"fmt"
+	"math"
+
+	"raxmlcell/internal/phylotree"
+)
+
+// Views is a memoized table of directed partial likelihood vectors over a
+// topologically frozen tree: one vector per directed internal ring record,
+// computed on demand and shared across queries. It is the engine's
+// implementation of RAxML's lazy SPR evaluation — after pruning a subtree,
+// every candidate insertion branch can be scored in O(patterns) time from
+// cached vectors instead of recomputing the whole tree.
+//
+// A Views must be discarded as soon as the tree's topology or any branch
+// length changes.
+type Views struct {
+	eng   *Engine
+	lv    map[*phylotree.Node][]float64
+	scale map[*phylotree.Node][]int32
+}
+
+// NewViews creates an empty view table over the engine's current model.
+func (e *Engine) NewViews() *Views {
+	return &Views{
+		eng:   e,
+		lv:    make(map[*phylotree.Node][]float64),
+		scale: make(map[*phylotree.Node][]int32),
+	}
+}
+
+// Release returns all cached buffers to the engine's pool.
+func (v *Views) Release() {
+	for r, buf := range v.lv {
+		v.eng.lvPool = append(v.eng.lvPool, buf)
+		delete(v.lv, r)
+	}
+	for r, sc := range v.scale {
+		v.eng.scPool = append(v.eng.scPool, sc)
+		delete(v.scale, r)
+	}
+}
+
+func (e *Engine) getLvBuf() []float64 {
+	if n := len(e.lvPool); n > 0 {
+		b := e.lvPool[n-1]
+		e.lvPool = e.lvPool[:n-1]
+		return b
+	}
+	return make([]float64, e.npat*e.ncat*ns)
+}
+
+func (e *Engine) getScBuf() []int32 {
+	if n := len(e.scPool); n > 0 {
+		b := e.scPool[n-1]
+		e.scPool = e.scPool[:n-1]
+		for i := range b {
+			b[i] = 0
+		}
+		return b
+	}
+	return make([]int32, e.npat)
+}
+
+// Vector returns the partial likelihood vector and scale counts of the
+// subtree behind record r (computed through r's two other ring members),
+// memoizing recursively. For tip records it returns (nil, nil): callers use
+// the tip codes directly.
+func (v *Views) Vector(r *phylotree.Node) ([]float64, []int32, error) {
+	if r.IsTip() {
+		return nil, nil, nil
+	}
+	if lv, ok := v.lv[r]; ok {
+		return lv, v.scale[r], nil
+	}
+	q := r.Next.Back
+	w := r.Next.Next.Back
+	if q == nil || w == nil {
+		return nil, nil, fmt.Errorf("likelihood: view of detached record")
+	}
+	qLv, qSc, err := v.Vector(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	wLv, wSc, err := v.Vector(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	dst := v.eng.getLvBuf()
+	dsc := v.eng.getScBuf()
+	v.eng.combine(q, r.Next.Z, qLv, qSc, w, r.Next.Next.Z, wLv, wSc, dst, dsc)
+	v.lv[r] = dst
+	v.scale[r] = dsc
+	return dst, dsc, nil
+}
+
+// combine is the core of newview factored over explicit child buffers:
+// child vectors may come from the engine's per-node table, a Views cache,
+// or (nil for tips) the pattern data of the child's taxon.
+func (e *Engine) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int32,
+	r *phylotree.Node, zr float64, rLv []float64, rSc []int32,
+	dst []float64, dstScale []int32) {
+
+	e.Meter.NewviewCalls++
+	e.transitionMatrices(zq, e.pLeft)
+	e.transitionMatrices(zr, e.pRight)
+
+	qTip, rTip := q.IsTip(), r.IsTip()
+	switch {
+	case qTip && rTip:
+		e.Meter.TipTipCalls++
+	case qTip || rTip:
+		e.Meter.TipInnerCalls++
+	default:
+		e.Meter.InnerInnerCalls++
+	}
+	if qTip {
+		e.tipProjection(e.pLeft, e.tipPL)
+	}
+	if rTip {
+		e.tipProjection(e.pRight, e.tipPR)
+	}
+	var qData, rData []byte
+	if qTip {
+		qData = e.Pat.Data[q.Index]
+	}
+	if rTip {
+		rData = e.Pat.Data[r.Index]
+	}
+
+	ncat := e.ncat
+	work := func(pr patRange) combineStats {
+		var st combineStats
+		for pat := pr.lo; pat < pr.hi; pat++ {
+			base := pat * ncat * ns
+			for c := 0; c < ncat; c++ {
+				mi := e.matIdx(pat, c)
+				var left, right [ns]float64
+				if qTip {
+					code := qData[pat] & 0x0f
+					copy(left[:], e.tipPL[mi*16*ns+int(code)*ns:][:ns])
+				} else {
+					pc := e.pLeft[mi*ns*ns:]
+					x := qLv[base+c*ns:]
+					for i := 0; i < ns; i++ {
+						left[i] = pc[i*ns]*x[0] + pc[i*ns+1]*x[1] + pc[i*ns+2]*x[2] + pc[i*ns+3]*x[3]
+					}
+					st.muls += ns * ns
+					st.adds += ns * (ns - 1)
+				}
+				if rTip {
+					code := rData[pat] & 0x0f
+					copy(right[:], e.tipPR[mi*16*ns+int(code)*ns:][:ns])
+				} else {
+					pc := e.pRight[mi*ns*ns:]
+					x := rLv[base+c*ns:]
+					for i := 0; i < ns; i++ {
+						right[i] = pc[i*ns]*x[0] + pc[i*ns+1]*x[1] + pc[i*ns+2]*x[2] + pc[i*ns+3]*x[3]
+					}
+					st.muls += ns * ns
+					st.adds += ns * (ns - 1)
+				}
+				for i := 0; i < ns; i++ {
+					dst[base+c*ns+i] = left[i] * right[i]
+				}
+				st.muls += ns
+			}
+			st.bigIters++
+
+			sc := int32(0)
+			if qSc != nil {
+				sc += qSc[pat]
+			}
+			if rSc != nil {
+				sc += rSc[pat]
+			}
+			st.scaleChecks++
+			if e.needsScalingPure(dst[base : base+ncat*ns]) {
+				for k := base; k < base+ncat*ns; k++ {
+					dst[k] *= TwoTo256
+				}
+				st.muls += uint64(ncat * ns)
+				sc++
+				st.scaleEvents++
+			}
+			dstScale[pat] = sc
+		}
+		return st
+	}
+
+	var total combineStats
+	if e.parallel() {
+		ranges := e.splitPatterns()
+		stats := make([]combineStats, len(ranges))
+		e.runParallel(func(pr patRange, slot int) {
+			stats[slot] = work(pr)
+		})
+		for _, st := range stats {
+			total.add(st)
+		}
+	} else {
+		total = work(patRange{0, e.npat})
+	}
+	e.Meter.Muls += total.muls
+	e.Meter.Adds += total.adds
+	e.Meter.BigLoopIters += total.bigIters
+	e.Meter.ScaleChecks += total.scaleChecks
+	e.Meter.ScaleEvents += total.scaleEvents
+	bytesPerVec := uint64(e.npat * ncat * ns * 8)
+	n := uint64(1)
+	if !qTip {
+		n++
+	}
+	if !rTip {
+		n++
+	}
+	e.Meter.BytesStreamed += n * bytesPerVec
+}
+
+// InsertionScore evaluates the lazy-SPR score of regrafting a pruned
+// subtree into the branch (cand, cand.Back): a virtual internal node is
+// formed over the two branch halves, its vector combined from the cached
+// views, and only the subtree's own branch length is optimized by
+// Newton-Raphson (RAxML's "lazy" evaluation). sub is the detached ring
+// record holding the subtree behind sub.Back; z0 is the starting branch
+// length. The tree itself is not modified.
+func (v *Views) InsertionScore(cand *phylotree.Node, sub *phylotree.Node, z0 float64) (bestZ, logL float64, err error) {
+	if cand.Back == nil {
+		return 0, 0, fmt.Errorf("likelihood: candidate edge is detached")
+	}
+	s := sub.Back
+	if s == nil {
+		return 0, 0, fmt.Errorf("likelihood: pruned subtree has no root")
+	}
+	e := v.eng
+
+	aLv, aSc, err := v.Vector(cand)
+	if err != nil {
+		return 0, 0, err
+	}
+	bLv, bSc, err := v.Vector(cand.Back)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Virtual node x over the split candidate branch.
+	xLv := e.getLvBuf()
+	xSc := e.getScBuf()
+	defer func() {
+		e.lvPool = append(e.lvPool, xLv)
+		e.scPool = append(e.scPool, xSc)
+	}()
+	half := cand.Z / 2
+	e.combine(cand, half, aLv, aSc, cand.Back, half, bLv, bSc, xLv, xSc)
+
+	// Subtree-side vector: viewed through the subtree root record s, whose
+	// children live inside the pruned subtree.
+	sLv, sSc, err := v.Vector(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	return e.newtonOnBranch(xLv, xSc, s, sLv, sSc, z0)
+}
+
+// newtonOnBranch optimizes the branch length between an explicit vector
+// (pLv/pSc) and a node side given by (q, qLv, qSc) — q may be a tip (qLv
+// nil). It is the sum-table core of MakeNewz reused by the lazy SPR path.
+func (e *Engine) newtonOnBranch(pLv []float64, pSc []int32, q *phylotree.Node, qLv []float64, qSc []int32, z0 float64) (float64, float64, error) {
+	e.Meter.MakenewzCalls++
+	g := e.Mod.GTR
+	ncat := e.ncat
+
+	sumTab := make([]float64, e.npat*ncat*ns)
+	scaleConst := 0.0
+	var qData []byte
+	if q.IsTip() {
+		qData = e.Pat.Data[q.Index]
+	}
+	for pat := 0; pat < e.npat; pat++ {
+		base := pat * ncat * ns
+		sc := pSc[pat]
+		if qSc != nil {
+			sc += qSc[pat]
+		}
+		scaleConst += float64(e.Pat.Weights[pat]) * float64(sc) * logMinLik
+		for c := 0; c < ncat; c++ {
+			x := pLv[base+c*ns:]
+			var y [ns]float64
+			if qData != nil {
+				y = e.tipVec[qData[pat]&0x0f]
+			} else {
+				copy(y[:], qLv[base+c*ns:][:ns])
+			}
+			for k := 0; k < ns; k++ {
+				a, b := 0.0, 0.0
+				for i := 0; i < ns; i++ {
+					a += g.Freqs[i] * x[i] * g.V[i][k]
+					b += g.VInv[k][i] * y[i]
+				}
+				sumTab[base+c*ns+k] = a * b
+			}
+		}
+	}
+	e.Meter.Muls += uint64(e.npat * ncat * ns * (3*ns + 1))
+	e.Meter.Adds += uint64(e.npat * ncat * ns * 2 * (ns - 1))
+
+	lamr := make([]float64, e.nmat*ns)
+	for c := 0; c < e.nmat; c++ {
+		for k := 0; k < ns; k++ {
+			lamr[c*ns+k] = g.Lambda[k] * e.Mod.Cats[c]
+		}
+	}
+
+	weights := e.Pat.Weights
+	likelihoodAt := func(t float64) (ll, d1, d2 float64) {
+		e0 := make([]float64, e.nmat*ns)
+		e1 := make([]float64, e.nmat*ns)
+		e2 := make([]float64, e.nmat*ns)
+		for i, lr := range lamr {
+			ex := e.expFn(lr * t)
+			e0[i] = ex
+			e1[i] = lr * ex
+			e2[i] = lr * lr * ex
+		}
+		e.Meter.Exps += uint64(e.nmat * ns)
+		ll, d1, d2 = e.newtonReduce(sumTab, e0, e1, e2, weights)
+		return ll + scaleConst, d1, d2
+	}
+
+	t := z0
+	bestT, bestLL := t, math.Inf(-1)
+	for iter := 0; iter < newtonMaxIter; iter++ {
+		e.Meter.NewtonIters++
+		ll, d1, d2 := likelihoodAt(t)
+		if ll > bestLL {
+			bestLL, bestT = ll, t
+		}
+		var next float64
+		if d2 < 0 {
+			next = t - d1/d2
+		} else if d1 > 0 {
+			next = t * 2
+		} else {
+			next = t / 2
+		}
+		if next < phylotree.MinBranchLength {
+			next = phylotree.MinBranchLength
+		}
+		if next > phylotree.MaxBranchLength {
+			next = phylotree.MaxBranchLength
+		}
+		if math.Abs(next-t) < newtonTol*(1+t) {
+			t = next
+			break
+		}
+		t = next
+	}
+	ll, _, _ := likelihoodAt(t)
+	if ll >= bestLL {
+		bestLL, bestT = ll, t
+	}
+	return bestT, bestLL, nil
+}

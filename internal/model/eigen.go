@@ -1,0 +1,84 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// JacobiEigen diagonalizes a symmetric n×n matrix with the cyclic Jacobi
+// rotation method: it returns the eigenvalues and a matrix whose columns are
+// the corresponding orthonormal eigenvectors. The input matrix is not
+// modified. Jacobi is exact enough and unconditionally stable for the small
+// (4×4) matrices the GTR model produces.
+func JacobiEigen(a [][]float64) (values []float64, vectors [][]float64, err error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("model: empty matrix")
+	}
+	m := make([][]float64, n)
+	v := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, nil, fmt.Errorf("model: matrix not square (row %d has %d cols)", i, len(a[i]))
+		}
+		m[i] = append([]float64(nil), a[i]...)
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a[i][j]-a[j][i]) > 1e-9*(1+math.Abs(a[i][j])) {
+				return nil, nil, fmt.Errorf("model: matrix not symmetric at (%d,%d): %g vs %g", i, j, a[i][j], a[j][i])
+			}
+		}
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-30 {
+			values = make([]float64, n)
+			for i := range values {
+				values[i] = m[i][i]
+			}
+			return values, v, nil
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-300 {
+					continue
+				}
+				// Compute the Jacobi rotation that zeroes m[p][q].
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				tau := s / (1 + c)
+				// Apply rotation to m (both sides) and accumulate into v.
+				mpq := m[p][q]
+				m[p][p] -= t * mpq
+				m[q][q] += t * mpq
+				m[p][q] = 0
+				m[q][p] = 0
+				for i := 0; i < n; i++ {
+					if i != p && i != q {
+						mip, miq := m[i][p], m[i][q]
+						m[i][p] = mip - s*(miq+tau*mip)
+						m[i][q] = miq + s*(mip-tau*miq)
+						m[p][i] = m[i][p]
+						m[q][i] = m[i][q]
+					}
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = vip - s*(viq+tau*vip)
+					v[i][q] = viq + s*(vip-tau*viq)
+				}
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("model: Jacobi did not converge in %d sweeps", maxSweeps)
+}

@@ -1,0 +1,158 @@
+package mw
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/model"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// savedResult is the serializable form of a JobResult.
+type savedResult struct {
+	Kind   JobKind          `json:"kind"`
+	Index  int              `json:"index"`
+	Seed   int64            `json:"seed"`
+	Newick string           `json:"newick"`
+	LogL   float64          `json:"logl"`
+	Alpha  float64          `json:"alpha"`
+	Meter  likelihood.Meter `json:"meter"`
+	Err    string           `json:"err,omitempty"`
+}
+
+type checkpointFile struct {
+	Version int           `json:"version"`
+	Done    []savedResult `json:"done"`
+}
+
+func toSaved(r JobResult) savedResult {
+	s := savedResult{
+		Kind: r.Job.Kind, Index: r.Job.Index, Seed: r.Job.Seed,
+		Newick: r.Newick, LogL: r.LogL, Alpha: r.Alpha, Meter: r.Meter,
+	}
+	if r.Err != nil {
+		s.Err = r.Err.Error()
+	}
+	return s
+}
+
+func fromSaved(s savedResult) JobResult {
+	r := JobResult{
+		Job:    Job{Kind: s.Kind, Index: s.Index, Seed: s.Seed},
+		Newick: s.Newick, LogL: s.LogL, Alpha: s.Alpha, Meter: s.Meter,
+	}
+	if s.Err != "" {
+		r.Err = fmt.Errorf("%s", s.Err)
+	}
+	return r
+}
+
+// LoadCheckpoint reads previously completed jobs from path. A missing file
+// is not an error: it returns an empty set.
+func LoadCheckpoint(path string) ([]JobResult, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mw: reading checkpoint: %w", err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(raw, &cf); err != nil {
+		return nil, fmt.Errorf("mw: parsing checkpoint: %w", err)
+	}
+	if cf.Version != checkpointVersion {
+		return nil, fmt.Errorf("mw: checkpoint version %d, want %d", cf.Version, checkpointVersion)
+	}
+	out := make([]JobResult, 0, len(cf.Done))
+	for _, s := range cf.Done {
+		out = append(out, fromSaved(s))
+	}
+	return out, nil
+}
+
+// saveCheckpoint writes the completed set atomically (temp file + rename).
+func saveCheckpoint(path string, done []JobResult) error {
+	cf := checkpointFile{Version: checkpointVersion}
+	for _, r := range done {
+		cf.Done = append(cf.Done, toSaved(r))
+	}
+	raw, err := json.MarshalIndent(&cf, "", " ")
+	if err != nil {
+		return fmt.Errorf("mw: encoding checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("mw: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("mw: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// RunWithCheckpoint behaves like Run but persists every completed job to
+// path and, on restart, skips jobs the checkpoint already covers — the
+// recovery story a multi-day bootstrap campaign needs. The checkpoint is
+// written atomically after each job, so a crash loses at most the jobs in
+// flight; because jobs are fully seed-determined, re-running them after a
+// restart yields identical results.
+func RunWithCheckpoint(pat *alignment.Patterns, mod *model.Model, jobs []Job, cfg Config, path string) ([]JobResult, error) {
+	if path == "" {
+		return nil, fmt.Errorf("mw: empty checkpoint path")
+	}
+	done, err := LoadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	completed := make(map[Job]bool, len(done))
+	for _, r := range done {
+		completed[r.Job] = true
+	}
+	var remaining []Job
+	for _, j := range jobs {
+		if !completed[j] {
+			remaining = append(remaining, j)
+		}
+	}
+
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	jobCh := make(chan Job)
+	resCh := make(chan JobResult)
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			for job := range jobCh {
+				resCh <- runJob(pat, mod, job, cfg)
+			}
+		}()
+	}
+	go func() {
+		for _, j := range remaining {
+			jobCh <- j
+		}
+		close(jobCh)
+	}()
+	for range remaining {
+		r := <-resCh
+		done = append(done, r)
+		if err := saveCheckpoint(path, done); err != nil {
+			return nil, err
+		}
+	}
+
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Job.Kind != done[j].Job.Kind {
+			return done[i].Job.Kind < done[j].Job.Kind
+		}
+		return done[i].Job.Index < done[j].Job.Index
+	})
+	return done, nil
+}

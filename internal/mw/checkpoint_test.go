@@ -1,0 +1,97 @@
+package mw
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointResume(t *testing.T) {
+	pat, m := testData(t, 7, 200)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	jobs := Plan(2, 3, 31)
+
+	// Phase 1: run only the first two jobs "before the crash".
+	partial, err := RunWithCheckpoint(pat, m, jobs[:2], Config{Workers: 2, Search: fastSearch()}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial) != 2 {
+		t.Fatalf("partial results = %d", len(partial))
+	}
+
+	// Phase 2: restart with the full job list; only the remaining three run.
+	full, err := RunWithCheckpoint(pat, m, jobs, Config{Workers: 2, Search: fastSearch()}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(jobs) {
+		t.Fatalf("full results = %d, want %d", len(full), len(jobs))
+	}
+
+	// Results must equal a fresh uncheckpointed run bit for bit (jobs are
+	// seed-determined).
+	fresh, err := Run(pat, m, jobs, Config{Workers: 2, Search: fastSearch()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh {
+		if fresh[i].Job != full[i].Job || fresh[i].Newick != full[i].Newick || fresh[i].LogL != full[i].LogL {
+			t.Errorf("job %d differs between fresh and resumed runs", i)
+		}
+	}
+
+	// Phase 3: everything checkpointed -> nothing re-runs, instant return.
+	again, err := RunWithCheckpoint(pat, m, jobs, Config{Workers: 2, Search: fastSearch()}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(jobs) {
+		t.Fatalf("no-op resume results = %d", len(again))
+	}
+}
+
+func TestCheckpointFileFormat(t *testing.T) {
+	pat, m := testData(t, 6, 100)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	if _, err := RunWithCheckpoint(pat, m, Plan(1, 1, 5), Config{Workers: 1, Search: fastSearch()}, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("loaded %d results", len(loaded))
+	}
+	for _, r := range loaded {
+		if r.Newick == "" || r.LogL >= 0 || r.Meter.NewviewCalls == 0 {
+			t.Errorf("round-tripped result lost data: %+v", r.Job)
+		}
+	}
+	// Corrupted file rejected.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	// Wrong version rejected.
+	if err := os.WriteFile(path, []byte(`{"version":99,"done":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Error("version mismatch accepted")
+	}
+	// Missing file is empty, not an error.
+	got, err := LoadCheckpoint(filepath.Join(dir, "absent.json"))
+	if err != nil || got != nil {
+		t.Errorf("missing checkpoint: %v, %v", got, err)
+	}
+	// Empty path rejected by RunWithCheckpoint.
+	if _, err := RunWithCheckpoint(pat, m, Plan(1, 0, 5), Config{}, ""); err == nil {
+		t.Error("empty path accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// Package mw is the master-worker runtime of the reproduction: the
+// goroutine/channel analogue of RAxML-VI-HPC's MPI scheme for running many
+// independent tree searches — multiple inferences on the original alignment
+// plus non-parametric bootstrap replicates — and collecting their results.
+//
+// Every job is fully determined by its seed, so runs are reproducible for
+// any worker count: workers race for jobs but the result of each job does
+// not depend on which worker executed it.
+package mw
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/model"
+	"raxmlcell/internal/search"
+)
+
+// JobKind distinguishes the two workload types of a publishable analysis.
+type JobKind int
+
+const (
+	// Inference searches on the original alignment from a fresh random
+	// stepwise-addition starting tree.
+	Inference JobKind = iota
+	// Bootstrap searches on a column-resampled replicate of the alignment.
+	Bootstrap
+)
+
+func (k JobKind) String() string {
+	if k == Bootstrap {
+		return "bootstrap"
+	}
+	return "inference"
+}
+
+// Job is one independent tree search.
+type Job struct {
+	Kind  JobKind
+	Index int   // ordinal within its kind
+	Seed  int64 // determines starting tree and (for bootstraps) resampling
+}
+
+// JobResult carries one finished search.
+type JobResult struct {
+	Job    Job
+	Newick string
+	LogL   float64
+	Alpha  float64
+	Meter  likelihood.Meter
+	Err    error
+}
+
+// Config parameterizes a master-worker run.
+type Config struct {
+	Workers   int    // concurrent workers (the paper's MPI process count)
+	StartTree string // starting-tree kind (see search.StartingTree)
+	Search    search.Options
+	Kernel    likelihood.Config
+}
+
+// Plan builds the standard job list of a full analysis: nInf multiple
+// inferences and nBoot bootstraps, with deterministic per-job seeds derived
+// from baseSeed.
+func Plan(nInf, nBoot int, baseSeed int64) []Job {
+	jobs := make([]Job, 0, nInf+nBoot)
+	for i := 0; i < nInf; i++ {
+		jobs = append(jobs, Job{Kind: Inference, Index: i, Seed: baseSeed + int64(i)*7919})
+	}
+	for i := 0; i < nBoot; i++ {
+		jobs = append(jobs, Job{Kind: Bootstrap, Index: i, Seed: baseSeed + 1_000_003 + int64(i)*7919})
+	}
+	return jobs
+}
+
+// Run executes the jobs over the worker pool and returns results ordered by
+// (kind, index). A job error is recorded in its result; Run only fails on
+// configuration errors.
+func Run(pat *alignment.Patterns, mod *model.Model, jobs []Job, cfg Config) ([]JobResult, error) {
+	if pat == nil || mod == nil {
+		return nil, fmt.Errorf("mw: nil patterns or model")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	jobCh := make(chan Job)
+	resCh := make(chan JobResult, len(jobs))
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				resCh <- runJob(pat, mod, job, cfg)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	close(resCh)
+
+	results := make([]JobResult, 0, len(jobs))
+	for r := range resCh {
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Job.Kind != results[j].Job.Kind {
+			return results[i].Job.Kind < results[j].Job.Kind
+		}
+		return results[i].Job.Index < results[j].Job.Index
+	})
+	return results, nil
+}
+
+// runJob executes one search end to end; it owns a private engine, RNG and
+// meter so workers share nothing mutable.
+func runJob(pat *alignment.Patterns, mod *model.Model, job Job, cfg Config) JobResult {
+	res := JobResult{Job: job}
+	rng := rand.New(rand.NewSource(job.Seed))
+
+	work := pat
+	if job.Kind == Bootstrap {
+		work = alignment.BootstrapReplicate(pat, rng)
+	}
+	eng, err := likelihood.NewEngine(work, mod, cfg.Kernel)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	start, err := search.StartingTree(work, cfg.StartTree, rng)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	out, err := search.Run(eng, start, cfg.Search)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Newick = out.Tree.Newick()
+	res.LogL = out.LogL
+	res.Alpha = out.Alpha
+	res.Meter = eng.Meter
+	return res
+}
+
+// Best returns the result with the highest log-likelihood among the given
+// kind (the "best-known ML tree" of the paper), or an error if none
+// succeeded.
+func Best(results []JobResult, kind JobKind) (*JobResult, error) {
+	var best *JobResult
+	for i := range results {
+		r := &results[i]
+		if r.Job.Kind != kind || r.Err != nil {
+			continue
+		}
+		if best == nil || r.LogL > best.LogL {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("mw: no successful %v results", kind)
+	}
+	return best, nil
+}

@@ -1,0 +1,261 @@
+package nstate
+
+import (
+	"fmt"
+	"math"
+
+	"raxmlcell/internal/phylotree"
+)
+
+// Scaling constants: same 2^±256 scheme as the optimized DNA engine.
+var (
+	twoTo256  = math.Ldexp(1, 256)
+	minLik    = math.Ldexp(1, -256)
+	logMinLik = math.Log(minLik)
+)
+
+// Evaluator computes tree log-likelihoods over an n-state alignment with a
+// plain, unoptimized Felsenstein recursion — the reference implementation.
+type Evaluator struct {
+	Alpha *Alphabet
+	Mod   *Model
+
+	names   []string
+	taxon   map[string]int
+	data    [][]uint32 // [taxon][pattern] state masks
+	weights []int
+	npat    int
+}
+
+// NewEvaluator encodes the alignment rows (raw characters, one string per
+// taxon) and compresses identical columns into weighted patterns.
+func NewEvaluator(alpha *Alphabet, mod *Model, names []string, rows []string) (*Evaluator, error) {
+	if alpha == nil || mod == nil {
+		return nil, fmt.Errorf("nstate: nil alphabet or model")
+	}
+	if alpha.Size != mod.Size {
+		return nil, fmt.Errorf("nstate: alphabet has %d states, model %d", alpha.Size, mod.Size)
+	}
+	if len(names) != len(rows) || len(names) < 3 {
+		return nil, fmt.Errorf("nstate: need >= 3 named rows (%d names, %d rows)", len(names), len(rows))
+	}
+	nt := len(names)
+	ns := len(rows[0])
+	enc := make([][]uint32, nt)
+	for i, row := range rows {
+		if len(row) != ns {
+			return nil, fmt.Errorf("nstate: row %d has %d sites, want %d", i, len(row), ns)
+		}
+		enc[i] = make([]uint32, ns)
+		for j := 0; j < ns; j++ {
+			m, err := alpha.Encode(row[j])
+			if err != nil {
+				return nil, fmt.Errorf("nstate: taxon %q site %d: %w", names[i], j+1, err)
+			}
+			enc[i][j] = m
+		}
+	}
+
+	ev := &Evaluator{
+		Alpha: alpha, Mod: mod,
+		names: append([]string(nil), names...),
+		taxon: make(map[string]int, nt),
+		data:  make([][]uint32, nt),
+	}
+	for i, n := range names {
+		if _, dup := ev.taxon[n]; dup {
+			return nil, fmt.Errorf("nstate: duplicate taxon %q", n)
+		}
+		ev.taxon[n] = i
+	}
+	// Pattern compression by column key.
+	index := map[string]int{}
+	col := make([]byte, nt*4)
+	for j := 0; j < ns; j++ {
+		for i := 0; i < nt; i++ {
+			v := enc[i][j]
+			col[4*i] = byte(v)
+			col[4*i+1] = byte(v >> 8)
+			col[4*i+2] = byte(v >> 16)
+			col[4*i+3] = byte(v >> 24)
+		}
+		key := string(col)
+		if k, ok := index[key]; ok {
+			ev.weights[k]++
+			continue
+		}
+		index[key] = len(ev.weights)
+		ev.weights = append(ev.weights, 1)
+		for i := 0; i < nt; i++ {
+			ev.data[i] = append(ev.data[i], enc[i][j])
+		}
+	}
+	ev.npat = len(ev.weights)
+	return ev, nil
+}
+
+// NumPatterns reports the compressed pattern count.
+func (ev *Evaluator) NumPatterns() int { return ev.npat }
+
+// LogL computes the tree's log likelihood. The tree's taxa must be exactly
+// the evaluator's (matched by name, any order).
+func (ev *Evaluator) LogL(tr *phylotree.Tree) (float64, error) {
+	if tr.NumTips() != len(ev.names) {
+		return 0, fmt.Errorf("nstate: tree has %d tips, alignment %d", tr.NumTips(), len(ev.names))
+	}
+	for _, name := range tr.Taxa {
+		if _, ok := ev.taxon[name]; !ok {
+			return 0, fmt.Errorf("nstate: taxon %q not in alignment", name)
+		}
+	}
+	n := ev.Mod.Size
+	ncat := len(ev.Mod.Cats)
+
+	// Partial vector of the subtree behind record r: [pat][cat][state],
+	// plus per-pattern scale counts.
+	type partial struct {
+		lv []float64
+		sc []int32
+	}
+	pbuf := make([]float64, ncat*n*n)
+
+	var down func(r *phylotree.Node) (partial, error)
+	tipVec := func(tip *phylotree.Node) []uint32 {
+		return ev.data[ev.taxon[tip.Name]]
+	}
+	// project computes P(z)·child for every pattern/cat into out.
+	project := func(r *phylotree.Node, child partial, childTip []uint32, out []float64) {
+		for c := 0; c < ncat; c++ {
+			ev.Mod.Transition(r.Z, ev.Mod.Cats[c], pbuf[c*n*n:(c+1)*n*n])
+		}
+		for pat := 0; pat < ev.npat; pat++ {
+			for c := 0; c < ncat; c++ {
+				pm := pbuf[c*n*n:]
+				dst := out[(pat*ncat+c)*n:]
+				if childTip != nil {
+					mask := childTip[pat]
+					for i := 0; i < n; i++ {
+						s := 0.0
+						for j := 0; j < n; j++ {
+							if mask&(1<<uint(j)) != 0 {
+								s += pm[i*n+j]
+							}
+						}
+						dst[i] = s
+					}
+				} else {
+					x := child.lv[(pat*ncat+c)*n:]
+					for i := 0; i < n; i++ {
+						s := 0.0
+						for j := 0; j < n; j++ {
+							s += pm[i*n+j] * x[j]
+						}
+						dst[i] = s
+					}
+				}
+			}
+		}
+	}
+
+	down = func(r *phylotree.Node) (partial, error) {
+		nd := r.Back
+		if nd == nil {
+			return partial{}, fmt.Errorf("nstate: detached record")
+		}
+		out := partial{
+			lv: make([]float64, ev.npat*ncat*n),
+			sc: make([]int32, ev.npat),
+		}
+		// Projection of each child side, multiplied together.
+		kids := 0
+		tmp := make([]float64, ev.npat*ncat*n)
+		apply := func(k *phylotree.Node) error {
+			var child partial
+			var tips []uint32
+			if k.Back.IsTip() {
+				tips = tipVec(k.Back)
+			} else {
+				var err error
+				child, err = down(k)
+				if err != nil {
+					return err
+				}
+				for p := range out.sc {
+					out.sc[p] += child.sc[p]
+				}
+			}
+			project(k, child, tips, tmp)
+			if kids == 0 {
+				copy(out.lv, tmp)
+			} else {
+				for i := range out.lv {
+					out.lv[i] *= tmp[i]
+				}
+			}
+			kids++
+			return nil
+		}
+		if nd.IsTip() {
+			return partial{}, fmt.Errorf("nstate: down() on tip")
+		}
+		for _, k := range nd.Ring() {
+			if k == nd {
+				continue
+			}
+			if err := apply(k); err != nil {
+				return partial{}, err
+			}
+		}
+		// Scaling.
+		for pat := 0; pat < ev.npat; pat++ {
+			seg := out.lv[pat*ncat*n : (pat+1)*ncat*n]
+			small := true
+			for _, v := range seg {
+				if !(math.Abs(v) < minLik) {
+					small = false
+					break
+				}
+			}
+			if small {
+				for i := range seg {
+					seg[i] *= twoTo256
+				}
+				out.sc[pat]++
+			}
+		}
+		return out, nil
+	}
+
+	// Evaluate across the branch (tips[0], tips[0].Back).
+	anchor := tr.Tips[0]
+	inner, err := down(anchor)
+	if err != nil {
+		return 0, err
+	}
+	// Project the inner vector across the anchor branch and dot with the
+	// tip's allowed states and the frequencies.
+	proj := make([]float64, ev.npat*ncat*n)
+	project(anchor, inner, nil, proj)
+	tips := tipVec(anchor)
+
+	logL := 0.0
+	invCats := 1.0 / float64(ncat)
+	for pat := 0; pat < ev.npat; pat++ {
+		site := 0.0
+		mask := tips[pat]
+		for c := 0; c < ncat; c++ {
+			x := proj[(pat*ncat+c)*n:]
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					site += ev.Mod.Freqs[i] * x[i]
+				}
+			}
+		}
+		site *= invCats
+		if site <= 0 || math.IsNaN(site) {
+			site = math.SmallestNonzeroFloat64
+		}
+		logL += float64(ev.weights[pat]) * (math.Log(site) + float64(inner.sc[pat])*logMinLik)
+	}
+	return logL, nil
+}

@@ -1,0 +1,178 @@
+package nstate
+
+import (
+	"fmt"
+	"math"
+
+	"raxmlcell/internal/model"
+)
+
+// Model is a reversible n-state substitution model with discrete Gamma rate
+// categories, diagonalized once at construction.
+type Model struct {
+	Size   int
+	Freqs  []float64
+	Lambda []float64
+	V      [][]float64
+	VInv   [][]float64
+	Alpha  float64
+	Cats   []float64
+}
+
+// NewReversible builds a model from a symmetric exchangeability matrix
+// (only the off-diagonal entries are read; exch[i][j] must equal
+// exch[j][i]) and stationary frequencies, normalized to mean rate 1 — the
+// n-state generalization of the GTR construction in internal/model.
+func NewReversible(exch [][]float64, freqs []float64, alpha float64, cats int) (*Model, error) {
+	n := len(freqs)
+	if n < 2 {
+		return nil, fmt.Errorf("nstate: need >= 2 states, got %d", n)
+	}
+	if len(exch) != n {
+		return nil, fmt.Errorf("nstate: exchangeability matrix is %dx?, want %dx%d", len(exch), n, n)
+	}
+	sum := 0.0
+	for i, f := range freqs {
+		if f <= 0 {
+			return nil, fmt.Errorf("nstate: frequency %d = %g must be positive", i, f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("nstate: frequencies sum to %g", sum)
+	}
+	for i := 0; i < n; i++ {
+		if len(exch[i]) != n {
+			return nil, fmt.Errorf("nstate: exchangeability row %d has %d entries", i, len(exch[i]))
+		}
+		for j := i + 1; j < n; j++ {
+			if exch[i][j] <= 0 {
+				return nil, fmt.Errorf("nstate: exchangeability (%d,%d) = %g must be positive", i, j, exch[i][j])
+			}
+			if math.Abs(exch[i][j]-exch[j][i]) > 1e-9*(1+math.Abs(exch[i][j])) {
+				return nil, fmt.Errorf("nstate: exchangeability matrix asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Q with normalization to unit mean rate.
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			q[i][j] = exch[i][j] * freqs[j]
+			row += q[i][j]
+		}
+		q[i][i] = -row
+	}
+	scale := 0.0
+	for i := 0; i < n; i++ {
+		scale -= freqs[i] * q[i][i]
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("nstate: degenerate rate matrix")
+	}
+	for i := range q {
+		for j := range q[i] {
+			q[i][j] /= scale
+		}
+	}
+
+	// Symmetrize and diagonalize.
+	b := make([][]float64, n)
+	sqrtPi := make([]float64, n)
+	for i := range b {
+		b[i] = make([]float64, n)
+		sqrtPi[i] = math.Sqrt(freqs[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i][j] = sqrtPi[i] * q[i][j] / sqrtPi[j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m := (b[i][j] + b[j][i]) / 2
+			b[i][j], b[j][i] = m, m
+		}
+	}
+	values, vectors, err := model.JacobiEigen(b)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Model{
+		Size:   n,
+		Freqs:  append([]float64(nil), freqs...),
+		Lambda: values,
+		Alpha:  alpha,
+	}
+	m.V = make([][]float64, n)
+	m.VInv = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m.V[i] = make([]float64, n)
+		m.VInv[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.V[i][j] = vectors[i][j] / sqrtPi[i]
+			m.VInv[i][j] = vectors[j][i] * sqrtPi[j]
+		}
+	}
+	if alpha > 0 && cats > 1 {
+		rates, err := model.DiscreteGamma(alpha, cats)
+		if err != nil {
+			return nil, err
+		}
+		m.Cats = rates
+	} else {
+		m.Alpha = 0
+		m.Cats = []float64{1}
+	}
+	return m, nil
+}
+
+// Poisson builds the equal-rates, equal-frequencies model over n states —
+// for n=20 the standard Poisson model of amino acid evolution (the 20-state
+// Jukes-Cantor analogue).
+func Poisson(n int, alpha float64, cats int) (*Model, error) {
+	exch := make([][]float64, n)
+	freqs := make([]float64, n)
+	for i := range exch {
+		exch[i] = make([]float64, n)
+		for j := range exch[i] {
+			if i != j {
+				exch[i][j] = 1
+			}
+		}
+		freqs[i] = 1 / float64(n)
+	}
+	return NewReversible(exch, freqs, alpha, cats)
+}
+
+// Transition fills p (n x n, row-major) with P(t*rate).
+func (m *Model) Transition(t, rate float64, p []float64) {
+	n := m.Size
+	expl := make([]float64, n)
+	for k := 0; k < n; k++ {
+		expl[k] = math.Exp(m.Lambda[k] * t * rate)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += m.V[i][k] * expl[k] * m.VInv[k][j]
+			}
+			if s < 0 {
+				s = 0
+			}
+			p[i*n+j] = s
+		}
+	}
+}

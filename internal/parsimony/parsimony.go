@@ -1,0 +1,138 @@
+// Package parsimony implements Fitch maximum parsimony scoring and the
+// randomized stepwise-addition-order starting trees RAxML uses to seed its
+// maximum likelihood searches ("random stepwise addition sequence Maximum
+// Parsimony trees" in the paper's terminology).
+//
+// Fitch state sets are exactly the 4-bit ambiguity masks of internal/bio, so
+// tip states need no conversion: intersection is bitwise AND, union is
+// bitwise OR, and a union event costs one mutation weighted by the site
+// pattern's multiplicity.
+package parsimony
+
+import (
+	"fmt"
+	"math/rand"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/phylotree"
+)
+
+// Score computes the weighted Fitch parsimony score of a complete tree.
+func Score(tr *phylotree.Tree, pat *alignment.Patterns) (int, error) {
+	if tr.NumTips() != pat.NumTaxa {
+		return 0, fmt.Errorf("parsimony: tree has %d tips, alignment %d taxa", tr.NumTips(), pat.NumTaxa)
+	}
+	s := newScorer(pat)
+	return s.score(tr.Tips[0]), nil
+}
+
+// scorer holds the per-pattern Fitch state workspace for one tree walk.
+type scorer struct {
+	pat   *alignment.Patterns
+	npat  int
+	state [][]byte // workspace per node index
+}
+
+func newScorer(pat *alignment.Patterns) *scorer {
+	return &scorer{
+		pat:   pat,
+		npat:  pat.NumPatterns(),
+		state: make([][]byte, 2*pat.NumTaxa-2),
+	}
+}
+
+// score evaluates the Fitch score of the (sub)tree rooted "away" from the
+// given tip, i.e. the whole unrooted tree when called with an attached tip.
+func (s *scorer) score(root *phylotree.Node) int {
+	// Root the walk at the branch (root, root.Back): the total score is the
+	// sum of union events below both ends plus unions at the virtual root.
+	score := 0
+	a := s.states(root, &score)
+	b := s.states(root.Back, &score)
+	w := s.pat.Weights
+	for p := 0; p < s.npat; p++ {
+		if a[p]&b[p] == 0 {
+			score += w[p]
+		}
+	}
+	return score
+}
+
+// states returns the Fitch state-set vector of the subtree behind nd,
+// accumulating union events into score.
+func (s *scorer) states(nd *phylotree.Node, score *int) []byte {
+	if nd.IsTip() {
+		return s.pat.Data[nd.Index]
+	}
+	q := nd.Next.Back
+	r := nd.Next.Next.Back
+	a := s.states(q, score)
+	b := s.states(r, score)
+	buf := s.state[nd.Index]
+	if buf == nil {
+		buf = make([]byte, s.npat)
+		s.state[nd.Index] = buf
+	}
+	w := s.pat.Weights
+	for p := 0; p < s.npat; p++ {
+		inter := a[p] & b[p]
+		if inter != 0 {
+			buf[p] = inter
+		} else {
+			buf[p] = a[p] | b[p]
+			*score += w[p]
+		}
+	}
+	return buf
+}
+
+// BuildStepwise constructs a randomized stepwise-addition parsimony tree:
+// taxa are added in random order, each at the insertion branch that
+// minimizes the Fitch score (ties broken uniformly at random). This is the
+// starting-tree generator for every inference and bootstrap run.
+func BuildStepwise(pat *alignment.Patterns, rng *rand.Rand) (*phylotree.Tree, error) {
+	if pat.NumTaxa < 3 {
+		return nil, fmt.Errorf("parsimony: need >= 3 taxa, got %d", pat.NumTaxa)
+	}
+	tr, err := phylotree.NewTree(pat.Names)
+	if err != nil {
+		return nil, err
+	}
+	order := rng.Perm(pat.NumTaxa)
+	if err := tr.InitTriplet(order[0], order[1], order[2]); err != nil {
+		return nil, err
+	}
+	s := newScorer(pat)
+	for _, ti := range order[3:] {
+		edges := tr.Edges()
+		best := -1
+		bestScore := 0
+		nBest := 0
+		for k, e := range edges {
+			if err := tr.InsertTip(ti, e); err != nil {
+				return nil, err
+			}
+			sc := s.score(tr.Tips[ti])
+			if err := tr.RemoveTip(ti); err != nil {
+				return nil, err
+			}
+			switch {
+			case best == -1 || sc < bestScore:
+				best, bestScore, nBest = k, sc, 1
+			case sc == bestScore:
+				// Reservoir sampling over tied insertions.
+				nBest++
+				if rng.Intn(nBest) == 0 {
+					best = k
+				}
+			}
+		}
+		if err := tr.InsertTip(ti, edges[best]); err != nil {
+			return nil, err
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,54 @@
+package phylotree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Ascii renders the tree as an indented outline (the style of the Unix
+// `tree` command), rooted at the internal node adjacent to tip 0, with
+// branch lengths on every edge — the quick visual check a CLI user wants
+// before opening a real tree viewer.
+//
+//	*
+//	|-- a:0.100
+//	|-- +:0.200
+//	|   |-- b:0.100
+//	|   `-- c:0.100
+//	`-- d:0.300
+func (t *Tree) Ascii() string {
+	var b strings.Builder
+	b.WriteString("*\n")
+	root := t.Tips[0].Back
+	ring := root.Ring()
+	for i, r := range ring {
+		drawNode(&b, r, "", i == len(ring)-1)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// drawNode prints the subtree behind record r (r.Back side).
+func drawNode(b *strings.Builder, r *Node, prefix string, last bool) {
+	conn, cont := "|-- ", "|   "
+	if last {
+		conn, cont = "`-- ", "    "
+	}
+	nd := r.Back
+	label := "+"
+	if nd.IsTip() {
+		label = nd.Name
+	}
+	fmt.Fprintf(b, "%s%s%s:%.3f\n", prefix, conn, label, r.Z)
+	if nd.IsTip() {
+		return
+	}
+	var kids []*Node
+	for _, k := range nd.Ring() {
+		if k != nd {
+			kids = append(kids, k)
+		}
+	}
+	for i, k := range kids {
+		drawNode(b, k, prefix+cont, i == len(kids)-1)
+	}
+}

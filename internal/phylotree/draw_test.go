@@ -1,0 +1,60 @@
+package phylotree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAsciiBasics(t *testing.T) {
+	tr, err := ParseNewick("((a:1,b:1):0.5,c:1,d:1);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := tr.Ascii()
+	lines := strings.Split(art, "\n")
+	// 1 root marker + 2 internal edges' nodes... total lines = 1 + edges
+	// hanging off the print root = 1 + (taxa + internal-1) = varies; just
+	// check structure: every taxon appears exactly once with its branch
+	// length, internal nodes render as "+".
+	if lines[0] != "*" {
+		t.Errorf("first line = %q", lines[0])
+	}
+	for _, name := range tr.Taxa {
+		if strings.Count(art, " "+name+":") != 1 {
+			t.Errorf("taxon %q not rendered exactly once:\n%s", name, art)
+		}
+	}
+	if !strings.Contains(art, "+:0.500") {
+		t.Errorf("internal branch not rendered:\n%s", art)
+	}
+	if !strings.Contains(art, "`-- ") || !strings.Contains(art, "|-- ") {
+		t.Errorf("connectors missing:\n%s", art)
+	}
+}
+
+func TestAsciiLargerTreesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tr, err := RandomTopology(names(15), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := tr.Ascii()
+	a2 := tr.Ascii()
+	if a1 != a2 {
+		t.Error("rendering not deterministic")
+	}
+	lines := strings.Split(a1, "\n")
+	// One line per directed edge from the print root plus the root marker:
+	// edges = 2n-3, minus nothing; every node (tip or internal) below the
+	// root ring gets one line. Tips: 15; internals below root: n-3.
+	want := 1 + 15 + (15 - 3)
+	if len(lines) != want {
+		t.Errorf("lines = %d, want %d:\n%s", len(lines), want, a1)
+	}
+	for _, name := range tr.Taxa {
+		if strings.Count(a1, " "+name+":") != 1 {
+			t.Errorf("taxon %q count wrong", name)
+		}
+	}
+}

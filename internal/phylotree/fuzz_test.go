@@ -1,0 +1,45 @@
+package phylotree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNewickNeverPanics feeds the parser adversarial byte soup built
+// from Newick-ish tokens: it must always return cleanly (tree or error).
+func TestParseNewickNeverPanics(t *testing.T) {
+	tokens := []string{"(", ")", ",", ";", ":", "'", "a", "b", "0.5", "-1e3",
+		"''", "((", "))", " ", "\t", "taxon", ":::", "1..2"}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < int(n)%64; i++ {
+			b.WriteString(tokens[rng.Intn(len(tokens))])
+		}
+		tr, err := ParseNewick(b.String())
+		if err == nil && tr != nil {
+			// Whatever parsed must be structurally valid.
+			return tr.Validate() == nil
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNewickRandomBytes exercises fully arbitrary input.
+func TestParseNewickRandomBytes(t *testing.T) {
+	f := func(raw []byte) bool {
+		tr, err := ParseNewick(string(raw))
+		if err == nil && tr != nil {
+			return tr.Validate() == nil
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package phylotree
+
+import "fmt"
+
+// SupportValues computes non-parametric bootstrap support: for every
+// non-trivial bipartition of the reference tree, the fraction of replicate
+// trees that contain the same bipartition. All trees must share the
+// reference's taxon order (use AlignTaxa on parsed replicates first).
+func SupportValues(ref *Tree, replicates []*Tree) (map[Bipartition]float64, error) {
+	if len(replicates) == 0 {
+		return nil, fmt.Errorf("phylotree: no replicate trees")
+	}
+	refBip := ref.Bipartitions()
+	counts := make(map[Bipartition]int, len(refBip))
+	for i, rep := range replicates {
+		if len(rep.Tips) != len(ref.Tips) {
+			return nil, fmt.Errorf("phylotree: replicate %d has %d taxa, want %d", i, len(rep.Tips), len(ref.Tips))
+		}
+		for j := range ref.Taxa {
+			if ref.Taxa[j] != rep.Taxa[j] {
+				return nil, fmt.Errorf("phylotree: replicate %d taxon order differs at %d", i, j)
+			}
+		}
+		for b := range rep.Bipartitions() {
+			if refBip[b] {
+				counts[b]++
+			}
+		}
+	}
+	out := make(map[Bipartition]float64, len(refBip))
+	for b := range refBip {
+		out[b] = float64(counts[b]) / float64(len(replicates))
+	}
+	return out, nil
+}
+
+// BootstopDivergence measures how unsettled the bootstrap support values
+// still are: the replicates are split into halves (even/odd), each half's
+// support for the reference tree's bipartitions is computed, and the mean
+// absolute difference is returned. Values near zero mean more replicates
+// would barely change the reported supports — the idea behind RAxML's
+// bootstopping criteria.
+func BootstopDivergence(ref *Tree, replicates []*Tree) (float64, error) {
+	if len(replicates) < 4 {
+		return 0, fmt.Errorf("phylotree: need >= 4 replicates to assess convergence, got %d", len(replicates))
+	}
+	var a, b []*Tree
+	for i, t := range replicates {
+		if i%2 == 0 {
+			a = append(a, t)
+		} else {
+			b = append(b, t)
+		}
+	}
+	sa, err := SupportValues(ref, a)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := SupportValues(ref, b)
+	if err != nil {
+		return 0, err
+	}
+	sum, n := 0.0, 0
+	for k, va := range sa {
+		d := va - sb[k]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}
+
+// MeanSupport averages the support values of a tree's bipartitions — a
+// scalar summary used by examples and tests.
+func MeanSupport(values map[Bipartition]float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}

@@ -1,0 +1,387 @@
+package phylotree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("t%02d", i)
+	}
+	return out
+}
+
+func buildLadder(t *testing.T, n int) *Tree {
+	t.Helper()
+	tr, err := NewTree(names(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.InitTriplet(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < n; i++ {
+		// Always insert on the branch leading to tip i-1: a caterpillar.
+		if err := tr.InsertTip(i, tr.Tips[i-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	if _, err := NewTree([]string{"a", "b"}); err == nil {
+		t.Error("2 taxa accepted")
+	}
+	if _, err := NewTree([]string{"a", "b", "a"}); err == nil {
+		t.Error("duplicate taxa accepted")
+	}
+	if _, err := NewTree([]string{"a", "", "c"}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestTripletTopology(t *testing.T) {
+	tr := buildLadder(t, 3)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Edges()); got != 3 {
+		t.Errorf("edges = %d, want 3", got)
+	}
+	if tr.NumInner() != 1 {
+		t.Errorf("inner = %d, want 1", tr.NumInner())
+	}
+}
+
+func TestStepwiseAdditionInvariants(t *testing.T) {
+	for _, n := range []int{4, 5, 8, 16, 42} {
+		tr := buildLadder(t, n)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got, want := len(tr.Edges()), 2*n-3; got != want {
+			t.Errorf("n=%d: edges = %d, want %d", n, got, want)
+		}
+		if got, want := tr.NumInner(), n-2; got != want {
+			t.Errorf("n=%d: inner = %d, want %d", n, got, want)
+		}
+		if got, want := len(tr.InternalEdges()), n-3; got != want {
+			t.Errorf("n=%d: internal edges = %d, want %d", n, got, want)
+		}
+		po := Postorder(tr.Start(), nil)
+		if len(po) != n-2 {
+			t.Errorf("n=%d: postorder visited %d internals, want %d", n, len(po), n-2)
+		}
+	}
+}
+
+func TestRandomTopologyProperties(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := 4 + int(rawN)%40
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := RandomTopology(names(n), rng)
+		if err != nil {
+			return false
+		}
+		return tr.Validate() == nil && len(tr.Edges()) == 2*n-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertTipErrors(t *testing.T) {
+	tr := buildLadder(t, 4)
+	if err := tr.InsertTip(0, tr.Tips[1]); err == nil {
+		t.Error("re-inserting attached tip accepted")
+	}
+	if err := tr.InitTriplet(0, 1, 2); err == nil {
+		t.Error("InitTriplet on built tree accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := buildLadder(t, 10)
+	cl := tr.Clone()
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Newick() != cl.Newick() {
+		t.Error("clone renders differently")
+	}
+	// Mutate original; clone must not change.
+	tr.Tips[3].SetZ(0.77)
+	if tr.Newick() == cl.Newick() {
+		t.Error("clone shares branch state with original")
+	}
+}
+
+func TestSetZSymmetry(t *testing.T) {
+	tr := buildLadder(t, 5)
+	e := tr.Edges()[2]
+	e.SetZ(0.42)
+	if e.Back.Z != 0.42 {
+		t.Error("SetZ not mirrored to Back")
+	}
+	e.SetZ(1e-20)
+	if e.Z != MinBranchLength {
+		t.Errorf("SetZ below min not clamped: %g", e.Z)
+	}
+	e.SetZ(1e6)
+	if e.Z != MaxBranchLength {
+		t.Errorf("SetZ above max not clamped: %g", e.Z)
+	}
+}
+
+func TestPruneRegraftRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr, err := RandomTopology(names(12), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Newick()
+	bipBefore := tr.Bipartitions()
+
+	// Prune an internal node adjacent to tip 5's neighborhood.
+	p := tr.Tips[5].Back // internal ring record whose Back is tip 5
+	ps, err := tr.Prune(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Undo(ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Newick(); got != before {
+		t.Errorf("undo did not restore tree:\n before %s\n after  %s", before, got)
+	}
+	after := tr.Bipartitions()
+	if len(after) != len(bipBefore) {
+		t.Error("bipartition count changed after undo")
+	}
+}
+
+func TestPruneRegraftMove(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr, err := RandomTopology(names(15), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tr.Clone()
+
+	p := tr.Tips[3].Back
+	ps, err := tr.Prune(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regraft somewhere else: pick an edge not in the pruned subtree.
+	edges := tr.Edges()
+	if err := tr.Regraft(ps, edges[len(edges)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := RobinsonFoulds(orig, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == 0 {
+		t.Log("SPR happened to restore the same topology (allowed but unusual)")
+	}
+	// Tip set must be preserved.
+	for i, tip := range tr.Tips {
+		if tip.Back == nil {
+			t.Errorf("tip %d detached after SPR", i)
+		}
+	}
+}
+
+func TestPruneErrors(t *testing.T) {
+	tr := buildLadder(t, 6)
+	if _, err := tr.Prune(tr.Tips[0]); err == nil {
+		t.Error("pruning at a tip record accepted")
+	}
+}
+
+func TestRegraftIntoPrunedBranchRejected(t *testing.T) {
+	tr := buildLadder(t, 8)
+	p := tr.Tips[4].Back
+	ps, err := tr.Prune(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RegraftZ(ps, ps.P, 0.1, 0.1); err == nil {
+		t.Error("regraft into pruned ring accepted")
+	}
+	if err := tr.Undo(ps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadiusEdges(t *testing.T) {
+	tr := buildLadder(t, 10)
+	p := tr.Tips[0] // directed into the tree
+	e1 := RadiusEdges(p, 1)
+	e3 := RadiusEdges(p, 3)
+	if len(e1) == 0 || len(e3) <= len(e1) {
+		t.Errorf("radius enumeration not growing: r1=%d r3=%d", len(e1), len(e3))
+	}
+	// All returned edges are attached records.
+	for _, e := range e3 {
+		if e.Back == nil {
+			t.Error("detached edge in radius set")
+		}
+	}
+}
+
+func TestRobinsonFouldsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := RandomTopology(names(10), rng)
+		if err != nil {
+			return false
+		}
+		d, err := RobinsonFoulds(tr, tr.Clone())
+		return err == nil && d == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRobinsonFouldsDifferent(t *testing.T) {
+	a := buildLadder(t, 8)
+	rng := rand.New(rand.NewSource(123))
+	var b *Tree
+	var err error
+	for i := 0; i < 10; i++ {
+		b, err = RandomTopology(names(8), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := RobinsonFoulds(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 0 {
+			return // found a differing topology, as expected
+		}
+	}
+	t.Error("10 random topologies all identical to the ladder; RF suspect")
+}
+
+func TestBranchScoreDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(222))
+	tr, err := RandomTopology(names(9), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity: distance zero.
+	d, err := BranchScoreDistance(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	// Same topology, one branch stretched by delta: distance = delta.
+	cl := tr.Clone()
+	e := cl.Tips[2]
+	orig := e.Z
+	e.SetZ(orig + 0.25)
+	d, err = BranchScoreDistance(tr, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d; got < 0.2499 || got > 0.2501 {
+		t.Errorf("stretched-branch distance = %v, want 0.25", got)
+	}
+	// Different topologies have positive distance.
+	other, err := RandomTopology(names(9), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = BranchScoreDistance(tr, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Errorf("distinct-tree distance = %v", d)
+	}
+	// Symmetry.
+	d2, err := BranchScoreDistance(other, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != d2 {
+		t.Errorf("asymmetric: %v vs %v", d, d2)
+	}
+	// Mismatched taxa rejected.
+	small, err := RandomTopology(names(5), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BranchScoreDistance(tr, small); err == nil {
+		t.Error("taxon mismatch accepted")
+	}
+}
+
+func TestRobinsonFouldsMismatch(t *testing.T) {
+	a := buildLadder(t, 5)
+	b := buildLadder(t, 6)
+	if _, err := RobinsonFoulds(a, b); err == nil {
+		t.Error("taxon count mismatch accepted")
+	}
+}
+
+func TestSubtreeTips(t *testing.T) {
+	tr := buildLadder(t, 6)
+	// The record from tip 0 toward the tree sees all other tips.
+	tips := SubtreeTips(tr.Tips[0], nil)
+	if len(tips) != 5 {
+		t.Errorf("SubtreeTips from tip0 = %v", tips)
+	}
+	// The reverse direction sees only tip 0.
+	tips = SubtreeTips(tr.Tips[0].Back.Ring()[0], nil)
+	_ = tips // direction depends on ring layout; just ensure no panic
+}
+
+func TestTotalBranchLength(t *testing.T) {
+	tr := buildLadder(t, 5)
+	want := float64(len(tr.Edges())) * DefaultBranchLength
+	// InsertTip halves some branches, so just check positivity and bound.
+	got := tr.TotalBranchLength()
+	if got <= 0 || got > want*2 {
+		t.Errorf("TotalBranchLength = %v", got)
+	}
+}
+
+func TestAlignTaxa(t *testing.T) {
+	tr := buildLadder(t, 5)
+	reordered := []string{"t03", "t01", "t04", "t00", "t02"}
+	if err := tr.AlignTaxa(reordered); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range reordered {
+		if tr.Tips[i].Name != name || tr.Tips[i].Index != i {
+			t.Errorf("tip %d = %q idx %d", i, tr.Tips[i].Name, tr.Tips[i].Index)
+		}
+	}
+	if err := tr.AlignTaxa([]string{"x", "y", "z", "w", "v"}); err == nil {
+		t.Error("unknown taxa accepted")
+	}
+	if err := tr.AlignTaxa([]string{"t00"}); err == nil {
+		t.Error("short taxa list accepted")
+	}
+}

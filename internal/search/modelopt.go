@@ -1,0 +1,139 @@
+package search
+
+import (
+	"math"
+
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/model"
+	"raxmlcell/internal/phylotree"
+)
+
+// OptimizeGTRRates fits the five free GTR exchangeabilities (GT is the
+// conventional reference fixed at 1) by cyclic golden-section search in log
+// space, updating the engine's model in place. It returns the fitted rates
+// and the final log-likelihood. RAxML performs the same style of
+// coordinate-wise model optimization between search phases.
+func OptimizeGTRRates(eng *likelihood.Engine, tr *phylotree.Tree, sweeps int, tol float64) ([6]float64, float64, error) {
+	if sweeps <= 0 {
+		sweeps = 2
+	}
+	if tol <= 0 {
+		tol = 1e-2
+	}
+	rates := eng.Mod.GTR.Rates
+	freqs := eng.Mod.GTR.Freqs
+	alpha := eng.Mod.Alpha
+	cats := eng.Mod.NumCats()
+
+	apply := func(r [6]float64) (float64, error) {
+		g, err := model.NewGTR(r, freqs)
+		if err != nil {
+			return 0, err
+		}
+		m, err := model.NewModel(g, alpha, cats)
+		if err != nil {
+			return 0, err
+		}
+		if err := eng.SetModel(m); err != nil {
+			return 0, err
+		}
+		return eng.Evaluate(tr.Tips[0])
+	}
+
+	best, err := apply(rates)
+	if err != nil {
+		return rates, 0, err
+	}
+	const phi = 0.6180339887498949
+	for sweep := 0; sweep < sweeps; sweep++ {
+		improved := false
+		for i := 0; i < 5; i++ { // rate 5 (GT) stays fixed at 1
+			eval := func(x float64) (float64, error) {
+				r := rates
+				r[i] = math.Exp(x)
+				return apply(r)
+			}
+			// Bracket around the current value in log space.
+			a := math.Log(rates[i]) - 1.5
+			b := math.Log(rates[i]) + 1.5
+			x1 := b - phi*(b-a)
+			x2 := a + phi*(b-a)
+			f1, err := eval(x1)
+			if err != nil {
+				return rates, 0, err
+			}
+			f2, err := eval(x2)
+			if err != nil {
+				return rates, 0, err
+			}
+			for b-a > tol {
+				if f1 < f2 {
+					a, x1, f1 = x1, x2, f2
+					x2 = a + phi*(b-a)
+					f2, err = eval(x2)
+				} else {
+					b, x2, f2 = x2, x1, f1
+					x1 = b - phi*(b-a)
+					f1, err = eval(x1)
+				}
+				if err != nil {
+					return rates, 0, err
+				}
+			}
+			cand := math.Exp((a + b) / 2)
+			r := rates
+			r[i] = cand
+			ll, err := apply(r)
+			if err != nil {
+				return rates, 0, err
+			}
+			if ll > best {
+				if ll > best+1e-9 {
+					improved = true
+				}
+				best = ll
+				rates = r
+			} else {
+				// Restore the engine to the best-known model.
+				if _, err := apply(rates); err != nil {
+					return rates, 0, err
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	// Leave the engine on the fitted model.
+	if _, err := apply(rates); err != nil {
+		return rates, 0, err
+	}
+	return rates, best, nil
+}
+
+// OptimizeAll runs the full model-plus-branch optimization cycle RAxML
+// applies to a fixed topology: branch smoothing, Gamma shape, GTR rates,
+// iterated until the likelihood gain per cycle drops below eps.
+func OptimizeAll(eng *likelihood.Engine, tr *phylotree.Tree, eps float64) (float64, error) {
+	if eps <= 0 {
+		eps = 0.05
+	}
+	last := math.Inf(-1)
+	for cycle := 0; cycle < 10; cycle++ {
+		if _, err := SmoothBranches(eng, tr, 4, eps/4); err != nil {
+			return 0, err
+		}
+		if _, _, err := OptimizeAlpha(eng, tr, 0.02, 50, 1e-2); err != nil {
+			return 0, err
+		}
+		_, ll, err := OptimizeGTRRates(eng, tr, 1, 2e-2)
+		if err != nil {
+			return 0, err
+		}
+		if ll-last < eps {
+			return ll, nil
+		}
+		last = ll
+	}
+	return last, nil
+}

@@ -1,0 +1,121 @@
+package search
+
+import (
+	"fmt"
+
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/phylotree"
+)
+
+// nniRound performs one sweep of nearest-neighbor interchanges: for every
+// internal edge (u, v) there are two alternative topologies obtained by
+// swapping one subtree of u with one subtree of v. Each alternative is
+// scored with the lazy machinery (prune the swapped subtree, score its
+// re-insertion) — accepting the better alternative when it improves the
+// current likelihood by more than eps. NNI is the cheap, small-step
+// complement to SPR: RAxML applies SPR with radius 1-2 equivalently during
+// its fast phases.
+func nniRound(eng *likelihood.Engine, tr *phylotree.Tree, baseline, eps float64) (float64, int, error) {
+	current := baseline
+	accepted := 0
+	for _, e := range tr.InternalEdges() {
+		u, v := e, e.Back
+		if u.IsTip() || v.IsTip() {
+			continue
+		}
+		// The two NNI alternatives around edge (u,v): swap u.Next's subtree
+		// with each of v's two subtrees. Implemented as prune/regraft of
+		// u.Next's subtree onto the two branches on v's side.
+		p := u.Next // ring record whose Back is the subtree to move
+		if p.Back == nil {
+			continue
+		}
+		ps, err := tr.Prune(p)
+		if err != nil {
+			continue
+		}
+		zSub := ps.P.Z
+
+		// After pruning, the joined edge runs Q--R. The NNI targets are the
+		// two branches hanging off v (now reachable from the junction).
+		var targets []*phylotree.Node
+		for _, r := range v.Ring() {
+			if r != v && r.Back != nil {
+				targets = append(targets, r)
+			}
+		}
+		views := eng.NewViews()
+		bestLL := current
+		var bestEdge *phylotree.Node
+		bestZ := zSub
+		for _, cand := range targets {
+			if cand.Back == nil || cand == ps.P || cand.Back == ps.P {
+				continue
+			}
+			z, ll, err := views.InsertionScore(cand, ps.P, zSub)
+			if err != nil {
+				views.Release()
+				return 0, 0, fmt.Errorf("search: NNI trial: %w", err)
+			}
+			if ll > bestLL+eps {
+				bestLL, bestZ, bestEdge = ll, z, cand
+			}
+		}
+		views.Release()
+
+		if bestEdge != nil {
+			if err := tr.Regraft(ps, bestEdge); err != nil {
+				return 0, 0, fmt.Errorf("search: NNI accept: %w", err)
+			}
+			ps.P.SetZ(bestZ)
+			for _, b := range []*phylotree.Node{ps.P, ps.P.Next, ps.P.Next.Next} {
+				if _, ll, err := eng.MakeNewz(b); err == nil {
+					bestLL = ll
+				}
+			}
+			current = bestLL
+			accepted++
+		} else {
+			if err := tr.Undo(ps); err != nil {
+				return 0, 0, fmt.Errorf("search: NNI undo: %w", err)
+			}
+		}
+	}
+	return current, accepted, nil
+}
+
+// NNISearch hill-climbs with nearest-neighbor interchanges only — the
+// cheap local search usable as a fast first phase or a comparison baseline
+// against the SPR search.
+func NNISearch(eng *likelihood.Engine, tr *phylotree.Tree, maxRounds int, eps float64) (float64, int, error) {
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	if eps <= 0 {
+		eps = 0.01
+	}
+	ll, err := SmoothBranches(eng, tr, 4, eps)
+	if err != nil {
+		return 0, 0, err
+	}
+	moves := 0
+	for round := 0; round < maxRounds; round++ {
+		newLL, accepted, err := nniRound(eng, tr, ll, eps)
+		if err != nil {
+			return 0, 0, err
+		}
+		moves += accepted
+		newLL, err = SmoothBranches(eng, tr, 2, eps)
+		if err != nil {
+			return 0, 0, err
+		}
+		if accepted == 0 || newLL-ll < eps {
+			if newLL > ll {
+				ll = newLL
+			}
+			break
+		}
+		ll = newLL
+	}
+	return ll, moves, nil
+}

@@ -1,0 +1,103 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/parsimony"
+	"raxmlcell/internal/phylotree"
+)
+
+func TestNNISearchImproves(t *testing.T) {
+	pat, truth, m := simulated(t, 801, 12, 800)
+	rng := rand.New(rand.NewSource(802))
+	start, err := phylotree.RandomTopology(pat.Names, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := eng.Evaluate(start.Tips[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, moves, err := NNISearch(eng, start, 10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := start.Validate(); err != nil {
+		t.Fatalf("NNI broke the tree: %v", err)
+	}
+	if ll <= before {
+		t.Errorf("NNI did not improve: %.4f -> %.4f", before, ll)
+	}
+	if moves == 0 {
+		t.Error("NNI accepted no moves from a random start")
+	}
+	_ = truth
+}
+
+func TestNNIStableOnOptimum(t *testing.T) {
+	// On the SPR-optimized tree NNI should find (almost) nothing.
+	pat, _, m := simulated(t, 803, 10, 600)
+	rng := rand.New(rand.NewSource(804))
+	start, err := parsimony.BuildStepwise(pat, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(eng, start, Options{Radius: 5, MaxRounds: 6, SmoothPasses: 3, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, moves, err := NNISearch(eng, res.Tree, 5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves > 1 {
+		t.Errorf("NNI found %d moves after SPR convergence", moves)
+	}
+	if ll < res.LogL-0.5 {
+		t.Errorf("NNI worsened the SPR optimum: %.4f -> %.4f", res.LogL, ll)
+	}
+}
+
+func TestNNIVersusSPRQuality(t *testing.T) {
+	// From the same parsimony start, SPR (radius 5) should match or beat
+	// NNI-only search; both must land near each other on easy data.
+	pat, _, m := simulated(t, 805, 11, 700)
+	runFrom := func(doSPR bool) float64 {
+		rng := rand.New(rand.NewSource(806))
+		start, err := parsimony.BuildStepwise(pat, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doSPR {
+			res, err := Run(eng, start, Options{Radius: 5, MaxRounds: 6, SmoothPasses: 3, Epsilon: 0.01})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.LogL
+		}
+		ll, _, err := NNISearch(eng, start, 10, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ll
+	}
+	spr := runFrom(true)
+	nni := runFrom(false)
+	if spr < nni-0.5 {
+		t.Errorf("SPR (%.4f) worse than NNI (%.4f)", spr, nni)
+	}
+}

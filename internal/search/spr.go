@@ -1,0 +1,189 @@
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/phylotree"
+)
+
+// Options configures the hill-climbing search.
+type Options struct {
+	Radius       int     // SPR rearrangement radius (RAxML's rearrangement setting)
+	MaxRounds    int     // maximum SPR improvement rounds
+	SmoothPasses int     // branch smoothing passes between rounds
+	Epsilon      float64 // minimum log-likelihood gain to keep iterating
+	AlphaOpt     bool    // re-fit the Gamma shape between rounds
+	ModelOpt     bool    // fit the GTR exchangeabilities on the final tree
+}
+
+// DefaultOptions mirrors the paper's search regime at small scale.
+func DefaultOptions() Options {
+	return Options{Radius: 5, MaxRounds: 10, SmoothPasses: 4, Epsilon: 0.01, AlphaOpt: true}
+}
+
+func (o *Options) fillDefaults() {
+	d := DefaultOptions()
+	if o.Radius <= 0 {
+		o.Radius = d.Radius
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = d.MaxRounds
+	}
+	if o.SmoothPasses <= 0 {
+		o.SmoothPasses = d.SmoothPasses
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = d.Epsilon
+	}
+}
+
+// pruneCandidates enumerates every internal ring record whose removal is a
+// legal SPR prune (its Back side is the subtree that moves).
+func pruneCandidates(tr *phylotree.Tree) []*phylotree.Node {
+	var out []*phylotree.Node
+	for _, e := range tr.Edges() {
+		if !e.IsTip() {
+			out = append(out, e)
+		}
+		if !e.Back.IsTip() {
+			out = append(out, e.Back)
+		}
+	}
+	return out
+}
+
+// sprRound performs one pass of lazy SPR over all prune candidates: each
+// subtree is pruned, trial-inserted into every edge within the
+// rearrangement radius of the detachment point (optimizing only the
+// subtree's own branch, RAxML's "lazy" evaluation), and kept at the best
+// position if that improves the current likelihood by more than eps.
+// It returns the updated log-likelihood and the number of accepted moves.
+func sprRound(eng *likelihood.Engine, tr *phylotree.Tree, radius int, baseline, eps float64) (float64, int, error) {
+	current := baseline
+	accepted := 0
+	for _, p := range pruneCandidates(tr) {
+		if p.Back == nil || p.Next == nil {
+			continue // record was detached by a concurrent accepted move
+		}
+		ps, err := tr.Prune(p)
+		if err != nil {
+			continue
+		}
+		zSub := ps.P.Z
+
+		cands := phylotree.RadiusEdges(ps.Q, radius)
+		cands = append(cands, phylotree.RadiusEdges(ps.R, radius)...)
+
+		// Lazy SPR: score every candidate from cached directed vectors of
+		// the (fixed) pruned tree, optimizing only the subtree's branch.
+		views := eng.NewViews()
+		bestLL := math.Inf(-1)
+		bestZ := zSub
+		var bestEdge *phylotree.Node
+		for _, cand := range cands {
+			if cand.Back == nil {
+				continue
+			}
+			z, ll, err := views.InsertionScore(cand, ps.P, zSub)
+			if err != nil {
+				views.Release()
+				return 0, 0, fmt.Errorf("search: trial insertion: %w", err)
+			}
+			if ll > bestLL {
+				bestLL, bestZ, bestEdge = ll, z, cand
+			}
+		}
+		views.Release()
+
+		if bestEdge != nil && bestLL > current+eps {
+			if err := tr.Regraft(ps, bestEdge); err != nil {
+				return 0, 0, fmt.Errorf("search: accepting move: %w", err)
+			}
+			ps.P.SetZ(bestZ)
+			// Locally optimize the three branches around the insertion.
+			for _, b := range []*phylotree.Node{ps.P, ps.P.Next, ps.P.Next.Next} {
+				if _, ll, err := eng.MakeNewz(b); err == nil {
+					bestLL = ll
+				}
+			}
+			current = bestLL
+			accepted++
+		} else {
+			if err := tr.Undo(ps); err != nil {
+				return 0, 0, fmt.Errorf("search: undo: %w", err)
+			}
+		}
+	}
+	return current, accepted, nil
+}
+
+// Result is the outcome of one inference.
+type Result struct {
+	Tree   *phylotree.Tree
+	LogL   float64
+	Alpha  float64
+	Rounds int
+	Moves  int // accepted SPR moves
+}
+
+// Run executes the full hill-climbing search on the given starting tree
+// (mutated in place): smooth branches, fit alpha, then SPR rounds until no
+// round gains more than Epsilon, with a final smoothing.
+func Run(eng *likelihood.Engine, start *phylotree.Tree, opt Options) (*Result, error) {
+	opt.fillDefaults()
+	if err := start.Validate(); err != nil {
+		return nil, fmt.Errorf("search: starting tree: %w", err)
+	}
+
+	ll, err := SmoothBranches(eng, start, opt.SmoothPasses, opt.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	alpha := eng.Mod.Alpha
+	if opt.AlphaOpt {
+		alpha, ll, err = OptimizeAlpha(eng, start, 0.02, 50, 1e-2)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Tree: start, Alpha: alpha}
+	for round := 0; round < opt.MaxRounds; round++ {
+		res.Rounds = round + 1
+		newLL, moves, err := sprRound(eng, start, opt.Radius, ll, opt.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		res.Moves += moves
+		newLL, err = SmoothBranches(eng, start, opt.SmoothPasses, opt.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		if opt.AlphaOpt && moves > 0 {
+			alpha, newLL, err = OptimizeAlpha(eng, start, 0.02, 50, 1e-2)
+			if err != nil {
+				return nil, err
+			}
+			res.Alpha = alpha
+		}
+		if newLL-ll < opt.Epsilon {
+			ll = math.Max(ll, newLL)
+			break
+		}
+		ll = newLL
+	}
+	if opt.ModelOpt {
+		fitted, err := OptimizeAll(eng, start, opt.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		if fitted > ll {
+			ll = fitted
+		}
+		res.Alpha = eng.Mod.Alpha
+	}
+	res.LogL = ll
+	return res, nil
+}

@@ -1,0 +1,39 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/distance"
+	"raxmlcell/internal/parsimony"
+	"raxmlcell/internal/phylotree"
+)
+
+// StartingTree builds a starting topology of the requested kind:
+// "parsimony" (default, RAxML's randomized stepwise addition), "nj"
+// (neighbor joining on Jukes-Cantor distances), or "random" (uniform
+// stepwise insertion). The returned tree's taxa follow the alignment's row
+// order.
+func StartingTree(pat *alignment.Patterns, kind string, rng *rand.Rand) (*phylotree.Tree, error) {
+	switch kind {
+	case "", "parsimony":
+		return parsimony.BuildStepwise(pat, rng)
+	case "nj":
+		dm, err := distance.JukesCantor(pat)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := distance.NeighborJoining(dm)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.AlignTaxa(pat.Names); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	case "random":
+		return phylotree.RandomTopology(pat.Names, rng)
+	}
+	return nil, fmt.Errorf("search: unknown starting-tree kind %q (want parsimony, nj or random)", kind)
+}

@@ -1,0 +1,183 @@
+// Package seqsim simulates sequence evolution along a phylogenetic tree
+// under a GTR+Γ model. It is the substitute for the paper's 42_SC input
+// file (42 organisms x 1167 nucleotides, not distributed with the paper):
+// the generated alignments have the same dimensions, tree-like signal, and
+// on the order of the same number of distinct site patterns, which is what
+// determines the likelihood kernels' loop trip counts.
+package seqsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/bio"
+	"raxmlcell/internal/model"
+	"raxmlcell/internal/phylotree"
+)
+
+// Params configures a simulation.
+type Params struct {
+	Taxa        int     // number of tips
+	Sites       int     // alignment length
+	MeanBranch  float64 // mean branch length (expected substitutions/site)
+	Alpha       float64 // Gamma shape for site-rate variation (<=0: none)
+	GapFraction float64 // fraction of characters replaced by gaps
+	// InvariantFraction is the proportion of sites that never mutate —
+	// real conserved alignments (like the paper's rRNA-style 42_SC data)
+	// are dominated by such columns, which is what pushes the distinct
+	// pattern count down to ~250 for 1167 sites over 42 taxa.
+	InvariantFraction float64
+}
+
+// Params42SC mirrors the paper's benchmark input dimensions and pattern
+// density (42 taxa x 1167 nt, on the order of 250 distinct patterns).
+func Params42SC() Params {
+	return Params{Taxa: 42, Sites: 1167, MeanBranch: 0.02, Alpha: 0.8, InvariantFraction: 0.60}
+}
+
+// Generate draws a random topology with exponential branch lengths, then
+// evolves an alignment along it. It returns the alignment and the true tree.
+func Generate(p Params, m *model.Model, rng *rand.Rand) (*alignment.Alignment, *phylotree.Tree, error) {
+	if p.Taxa < 3 {
+		return nil, nil, fmt.Errorf("seqsim: need >= 3 taxa, got %d", p.Taxa)
+	}
+	if p.Sites <= 0 {
+		return nil, nil, fmt.Errorf("seqsim: need > 0 sites, got %d", p.Sites)
+	}
+	if p.MeanBranch <= 0 {
+		p.MeanBranch = 0.1
+	}
+	names := make([]string, p.Taxa)
+	for i := range names {
+		names[i] = fmt.Sprintf("taxon%03d", i)
+	}
+	tr, err := phylotree.RandomTopology(names, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range tr.Edges() {
+		e.SetZ(p.MeanBranch * rng.ExpFloat64())
+	}
+	a, err := Evolve(tr, m, p, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, tr, nil
+}
+
+// Evolve simulates p.Sites characters down the given tree under model m.
+// Site rates are drawn from m's discrete Gamma categories (uniformly, since
+// the categories are equiprobable).
+func Evolve(tr *phylotree.Tree, m *model.Model, p Params, rng *rand.Rand) (*alignment.Alignment, error) {
+	if m == nil {
+		return nil, fmt.Errorf("seqsim: nil model")
+	}
+	nt := tr.NumTips()
+	data := make([][]byte, nt) // per tip, raw characters
+	for i := range data {
+		data[i] = make([]byte, p.Sites)
+	}
+
+	g := m.GTR
+	// Transition matrices are branch- and category-specific; cache them per
+	// (edge, category) for the whole simulation.
+	type key struct {
+		e *phylotree.Node
+		c int
+	}
+	cache := map[key]*[4][4]float64{}
+	pm := func(e *phylotree.Node, c int) *[4][4]float64 {
+		k := key{e, c}
+		if m0, ok := cache[k]; ok {
+			return m0
+		}
+		var mm [4][4]float64
+		g.TransitionMatrix(e.Z, m.Cats[c], &mm)
+		cache[k] = &mm
+		return &mm
+	}
+
+	sample := func(dist []float64) int {
+		x := rng.Float64()
+		cum := 0.0
+		for i, v := range dist {
+			cum += v
+			if x < cum {
+				return i
+			}
+		}
+		return len(dist) - 1
+	}
+
+	root := tr.Tips[0].Back // internal ring adjacent to tip 0
+	for site := 0; site < p.Sites; site++ {
+		cat := rng.Intn(m.NumCats())
+		rootState := sample(g.Freqs[:])
+		if p.InvariantFraction > 0 && rng.Float64() < p.InvariantFraction {
+			// Conserved column: every taxon inherits the root state.
+			ch := bio.BaseChar(rootState)
+			for i := range data {
+				data[i][site] = ch
+			}
+			continue
+		}
+		// Walk the three subtrees around the root ring.
+		var walk func(e *phylotree.Node, fromState int)
+		walk = func(e *phylotree.Node, fromState int) {
+			mm := pm(e, cat)
+			child := e.Back
+			st := sample(mm[fromState][:])
+			if child.IsTip() {
+				data[child.Index][site] = bio.BaseChar(st)
+				return
+			}
+			for _, r := range child.Ring() {
+				if r != child {
+					walk(r, st)
+				}
+			}
+		}
+		for _, r := range root.Ring() {
+			walk(r, rootState)
+		}
+	}
+
+	// Inject gaps.
+	if p.GapFraction > 0 {
+		for i := range data {
+			for j := range data[i] {
+				if rng.Float64() < p.GapFraction {
+					data[i][j] = '-'
+				}
+			}
+		}
+	}
+
+	seqs := make([]*bio.Sequence, nt)
+	for i := range seqs {
+		s, err := bio.NewSequence(tr.Taxa[i], string(data[i]))
+		if err != nil {
+			return nil, err
+		}
+		seqs[i] = s
+	}
+	return alignment.New(seqs)
+}
+
+// DefaultModel builds a moderately asymmetric GTR+Γ4 model suitable for
+// generating benchmark data (fixed parameters, no randomness).
+func DefaultModel() *model.Model {
+	g, err := model.NewGTR(
+		[6]float64{1.4, 3.9, 0.9, 1.2, 4.2, 1.0},
+		[4]float64{0.31, 0.19, 0.22, 0.28},
+	)
+	if err != nil {
+		panic("seqsim: default GTR invalid: " + err.Error())
+	}
+	m, err := model.NewModel(g, 0.8, 4)
+	if err != nil {
+		panic("seqsim: default model invalid: " + err.Error())
+	}
+	return m
+}

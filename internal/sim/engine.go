@@ -1,0 +1,180 @@
+// Package sim is a process-oriented discrete-event simulation kernel: the
+// substrate under the Cell Broadband Engine model in internal/cell. Each
+// simulated hardware thread is a Proc — a goroutine that the engine resumes
+// one at a time, so simulated time is global, deterministic, and advances
+// only through explicit Advance calls. Ties in event time are broken by
+// schedule order (FIFO), making every run bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in cycles.
+type Time uint64
+
+// event resumes a parked process at a given time.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine owns the virtual clock and the run queue.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	procs  []*Proc
+}
+
+// NewEngine creates an empty simulation.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Proc is one simulated thread of execution. All Proc methods must be
+// called from within the process's own body function.
+type Proc struct {
+	Name   string
+	eng    *Engine
+	resume chan struct{}
+	parked chan struct{}
+	body   func(*Proc)
+
+	started bool
+	done    bool
+	daemon  bool // daemons may remain blocked when the simulation ends
+	blocked bool // parked without a pending wake event (waiting on a Cond)
+	err     error
+}
+
+// Spawn registers a new process whose body starts executing at the current
+// simulated time. It may be called before Run or from inside a running
+// process.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		Name:   name,
+		eng:    e,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+		body:   body,
+	}
+	e.procs = append(e.procs, p)
+	e.schedule(p, e.now)
+	return p
+}
+
+// SetDaemon marks the process as a daemon: the simulation is allowed to
+// finish while a daemon is still blocked (e.g. an SPE thread busy-waiting
+// for work that will never come).
+func (p *Proc) SetDaemon(v bool) { p.daemon = v }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+func (e *Engine) schedule(p *Proc, at Time) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+}
+
+// Run drives the simulation until no events remain. It returns an error if
+// any non-daemon process is still blocked at that point (deadlock).
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		p := ev.proc
+		if p.done {
+			continue
+		}
+		if ev.at < e.now {
+			return fmt.Errorf("sim: time went backwards (%d -> %d)", e.now, ev.at)
+		}
+		e.now = ev.at
+		p.blocked = false
+		if !p.started {
+			p.started = true
+			go func() {
+				<-p.resume
+				defer func() {
+					// A panicking process must not hang the engine: record
+					// the failure and hand control back.
+					if r := recover(); r != nil {
+						p.err = fmt.Errorf("sim: process %q panicked: %v", p.Name, r)
+					}
+					p.done = true
+					p.parked <- struct{}{}
+				}()
+				p.body(p)
+			}()
+		}
+		p.resume <- struct{}{}
+		<-p.parked
+		if p.err != nil {
+			return p.err
+		}
+	}
+	for _, p := range e.procs {
+		if !p.done && p.started && p.blocked && !p.daemon {
+			return fmt.Errorf("sim: deadlock: process %q blocked with no pending events at t=%d", p.Name, e.now)
+		}
+	}
+	return nil
+}
+
+// park hands control back to the engine; the process stays suspended until
+// another event resumes it.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Advance moves the process's execution forward by d cycles of simulated
+// time (modelling computation or fixed-latency operations).
+func (p *Proc) Advance(d Time) {
+	p.eng.schedule(p, p.eng.now+d)
+	p.park()
+}
+
+// Yield reschedules the process at the current time behind already-pending
+// same-time events (a cooperative context switch).
+func (p *Proc) Yield() { p.Advance(0) }
+
+// block parks the process with no wake-up event; a Cond signal must
+// reschedule it. Used by the synchronization primitives.
+func (p *Proc) block() {
+	p.blocked = true
+	p.park()
+}
+
+// unblock schedules the process to resume at the current time.
+func (p *Proc) unblock() {
+	p.eng.schedule(p, p.eng.now)
+}
+
+// Now returns the current simulated time (convenience).
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
