@@ -383,6 +383,79 @@ func BenchmarkEvaluate42SC(b *testing.B) {
 	b.ReportMetric(ll, "logL")
 }
 
+// benchSmooth42SC measures a branch-smoothing sweep over the 42_SC
+// stand-in tree, the hot loop of the search, with and without incremental
+// partial-vector caching. combines/op is the number of newview executions a
+// sweep actually performs; cachehits/op counts the traversal-descriptor
+// stops at valid cached vectors.
+func benchSmooth42SC(b *testing.B, incremental bool) {
+	rng := rand.New(rand.NewSource(61))
+	m := seqsim.DefaultModel()
+	a, _, err := seqsim.Generate(seqsim.Params42SC(), m, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat := alignment.Compress(a)
+	tr, err := parsimony.BuildStepwise(pat, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := likelihood.NewEngine(pat, m, likelihood.Config{Incremental: incremental})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.SmoothBranches(eng, tr, 1, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.Meter.NewviewCalls)/float64(b.N), "combines/op")
+	b.ReportMetric(float64(eng.Meter.CacheHits)/float64(b.N), "cachehits/op")
+}
+
+func BenchmarkSmooth42SC(b *testing.B)       { benchSmooth42SC(b, false) }
+func BenchmarkSmoothCached42SC(b *testing.B) { benchSmooth42SC(b, true) }
+
+// benchSearch42SC runs a whole small hill-climbing search per iteration
+// (fresh tree and engine each time) and reports the end-to-end newview-call
+// count under full recomputation vs incremental caching.
+func benchSearch42SC(b *testing.B, incremental bool) {
+	rng := rand.New(rand.NewSource(62))
+	m := seqsim.DefaultModel()
+	a, _, err := seqsim.Generate(seqsim.Params42SC(), m, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat := alignment.Compress(a)
+	var combines, hits uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start, err := parsimony.BuildStepwise(pat, rand.New(rand.NewSource(63)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := likelihood.NewEngine(pat, m, likelihood.Config{Incremental: incremental})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := search.Run(eng, start, search.Options{
+			Radius: 3, MaxRounds: 2, SmoothPasses: 2, Epsilon: 0.05,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		combines += eng.Meter.NewviewCalls
+		hits += eng.Meter.CacheHits
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(combines)/float64(b.N), "combines/op")
+	b.ReportMetric(float64(hits)/float64(b.N), "cachehits/op")
+}
+
+func BenchmarkSearch42SC(b *testing.B)       { benchSearch42SC(b, false) }
+func BenchmarkSearchCached42SC(b *testing.B) { benchSearch42SC(b, true) }
+
 // BenchmarkParallelEvaluate measures the shared-memory loop-level
 // parallelism of the kernels (the RAxML-OMP analogue) on a wide alignment.
 func BenchmarkParallelEvaluate(b *testing.B) {

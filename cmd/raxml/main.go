@@ -40,6 +40,7 @@ func main() {
 		cats       = flag.Int("cats", 4, "Gamma rate categories")
 		sdkExp     = flag.Bool("sdk-exp", false, "use the SDK-style fast exp kernel")
 		intCond    = flag.Bool("int-cond", false, "use the integer-cast scaling conditional")
+		incr       = flag.Bool("incremental", false, "cache partial likelihood vectors incrementally (dirty-flag traversal descriptors); same results, fewer newview calls, but not the paper's measured instruction mix")
 		catCats    = flag.Int("cat", 0, "after the search, re-fit the tree under a CAT model with this many per-site rate categories (0 = off; RAxML default 25)")
 		optModel   = flag.Bool("opt-model", false, "fit the GTR exchangeabilities on each final tree")
 		startTree  = flag.String("start", "parsimony", "starting tree: parsimony, nj or random")
@@ -89,7 +90,7 @@ func main() {
 			Radius: *radius, MaxRounds: *rounds,
 			SmoothPasses: 4, Epsilon: 0.01, AlphaOpt: true, ModelOpt: *optModel,
 		},
-		Kernel: likelihood.Config{SDKExp: *sdkExp, IntCond: *intCond},
+		Kernel: likelihood.Config{SDKExp: *sdkExp, IntCond: *intCond, Incremental: *incr},
 	}
 	analysis, err := core.Analyze(pat, cfg)
 	if err != nil {

@@ -42,6 +42,13 @@ type Config struct {
 	Checkpoint string
 
 	Search search.Options
+
+	// Kernel selects the likelihood-kernel variants for every worker
+	// engine. Kernel.Incremental enables x-vector partial-likelihood
+	// caching: identical trees and log-likelihoods, far fewer newview
+	// executions — and therefore a different Meter than the paper's
+	// measured full-recomputation workload, so leave it off when feeding
+	// the aggregate meter to the Cell simulation tables.
 	Kernel likelihood.Config
 }
 

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/phylotree"
+	"raxmlcell/internal/search"
+)
+
+// TestInferOnceIncrementalMatches runs the same seeded inference on the
+// 42_SC fixture with and without Kernel.Incremental and checks the
+// top-level contract: identical topology, log-likelihood within 1e-9, and
+// a strictly reduced newview count in the aggregate meter.
+func TestInferOnceIncrementalMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full 42-taxon inferences")
+	}
+	f, err := os.Open("testdata/42sc.phy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := alignment.ReadPhylip(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := alignment.Compress(a)
+
+	cfg := DefaultConfig()
+	cfg.Seed = 9
+	cfg.Search = search.Options{Radius: 3, MaxRounds: 2, SmoothPasses: 2, Epsilon: 0.05, AlphaOpt: true}
+
+	full, fullMeter, err := InferOnce(pat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Kernel.Incremental = true
+	cached, cachedMeter, err := InferOnce(pat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Abs(cached.LogL-full.LogL) > 1e-9*math.Abs(full.LogL) {
+		t.Errorf("incremental logL %.12f != full %.12f", cached.LogL, full.LogL)
+	}
+	rf, err := phylotree.RobinsonFoulds(full.Tree, cached.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf != 0 {
+		t.Errorf("incremental inference found a different topology (RF=%d)", rf)
+	}
+	if cachedMeter.CacheHits == 0 {
+		t.Error("incremental inference recorded no cache hits")
+	}
+	if cachedMeter.NewviewCalls >= fullMeter.NewviewCalls {
+		t.Errorf("incremental performed %d newview calls, full %d",
+			cachedMeter.NewviewCalls, fullMeter.NewviewCalls)
+	}
+	t.Logf("newview calls: incremental %d vs full %d (%.2fx), %d cache hits",
+		cachedMeter.NewviewCalls, fullMeter.NewviewCalls,
+		float64(fullMeter.NewviewCalls)/float64(cachedMeter.NewviewCalls),
+		cachedMeter.CacheHits)
+}

@@ -30,6 +30,18 @@ type Config struct {
 	IntCond  bool // Section 5.2.3: integer-cast, vectorized scaling conditional
 	VectorFP bool // Section 5.2.5: SIMD packing of the two FP loops (metering)
 
+	// Incremental enables RAxML's x-vector partial-likelihood caching:
+	// every internal node remembers which of its three ring orientations
+	// its stored vector belongs to, NewView recomputes only the invalid
+	// nodes of a traversal descriptor, and branch-length or topology
+	// changes mark the minimal dirty set via Invalidate/InvalidateAll.
+	// Results are bit-identical to full recomputation; only the number of
+	// newview (combine) executions — and thus the metered instruction mix
+	// — changes. Leave it off to reproduce the paper's original workload
+	// shape (every evaluation recomputes the whole tree, as RAxML's
+	// profile on the Cell was measured).
+	Incremental bool
+
 	// Threads > 1 parallelizes the per-pattern kernel loops over a
 	// goroutine pool — the shared-memory loop-level parallelism of
 	// RAxML-OMP that the paper's LLP scheduler maps onto SPEs. Partial
@@ -42,10 +54,11 @@ type Config struct {
 // substitution model. It owns the partial likelihood vectors for every node
 // index and a Meter of kernel operations.
 //
-// The engine recomputes partial vectors on demand with a per-call traversal
-// (no persistent validity cache): at the problem sizes of the paper's
-// workload this is microseconds per evaluation, and it keeps the kernels
-// free of invalidation subtleties.
+// By default the engine recomputes partial vectors on demand with a full
+// per-call traversal, exactly like the code the paper profiled. With
+// Config.Incremental it instead keeps a per-node validity/orientation flag
+// (RAxML's "x-vector") and recomputes only the dirty nodes of a traversal
+// descriptor; see NewView, Invalidate and AttachTree.
 type Engine struct {
 	Pat   *alignment.Patterns
 	Mod   *model.Model
@@ -60,6 +73,15 @@ type Engine struct {
 	scale      [][]int32   // [nodeIndex][pat] cumulative scaling counts
 	tipVec     [16][ns]float64
 	expFn      func(float64) float64
+
+	// Incremental-caching state (nil orient slice = caching disabled).
+	// orient[idx] is the ring record whose directed view the lv/scale
+	// slot of internal node idx currently holds, or nil when the slot is
+	// invalid. Record identity doubles as the validity flag: a record
+	// pointer from a different tree (or a rewired ring) never compares
+	// equal, so stale entries read as invalid.
+	orient []*phylotree.Node
+	trav   []*phylotree.Node // traversal-descriptor scratch
 
 	// Scratch buffers reused across invocations.
 	pLeft, pRight  []float64 // [cat*ns*ns + i*ns + j]
@@ -102,6 +124,9 @@ func NewEngine(pat *alignment.Patterns, mod *model.Model, cfg Config) (*Engine, 
 		e.invCats = 1 / float64(e.ncat)
 	}
 	maxIdx := 2*pat.NumTaxa - 2
+	if cfg.Incremental {
+		e.orient = make([]*phylotree.Node, maxIdx)
+	}
 	e.lv = make([][]float64, maxIdx)
 	e.scale = make([][]int32, maxIdx)
 	for i := pat.NumTaxa; i < maxIdx; i++ {
@@ -153,12 +178,16 @@ func (e *Engine) SetModel(mod *model.Model) error {
 		e.patCat = mod.PatCat
 	}
 	e.Mod = mod
+	// Every partial vector depends on the transition matrices, so a model
+	// swap dirties the whole cache.
+	e.InvalidateAll()
 	return nil
 }
 
 // SetWeights swaps the per-pattern weights (bootstrap replicates share
 // pattern data and only differ in weights). The weight vector length must
-// match the pattern count.
+// match the pattern count. Cached partial vectors stay valid: weights enter
+// only the evaluate/makenewz reductions, never the vectors themselves.
 func (e *Engine) SetWeights(weights []int) error {
 	p, err := e.Pat.WithWeights(weights)
 	if err != nil {
@@ -227,20 +256,49 @@ func (e *Engine) tipProjection(p []float64, dst []float64) {
 	e.Meter.Adds += uint64(e.nmat * 16 * ns * (ns - 1))
 }
 
-// NewView computes the partial likelihood vector for the internal ring
-// record p — the conditional likelihood of the subtree behind p's two other
-// ring members — recursing into child subtrees first, exactly like the
-// paper's newview() (which "calls itself recursively when the two children
-// are not tips"). Tips need no computation.
+// NewView makes the partial likelihood vector behind the internal ring
+// record p current — the conditional likelihood of the subtree containing
+// p's two other ring members, exactly like the paper's newview() (which
+// "calls itself recursively when the two children are not tips"). Tips need
+// no computation.
+//
+// The work is organized as a traversal descriptor: a postorder list of the
+// ring records whose views must actually be recomputed. Without
+// Config.Incremental the descriptor covers every internal node behind p
+// (full recomputation, the paper's measured behaviour); with it, the
+// descent stops at nodes whose cached vector is valid in the needed
+// orientation, so only the dirty path is recomputed.
 func (e *Engine) NewView(p *phylotree.Node) {
 	if p.IsTip() {
 		return
 	}
+	e.trav = e.appendTraversal(e.trav[:0], p)
+	for _, nd := range e.trav {
+		e.computeView(nd)
+	}
+}
+
+// appendTraversal builds the traversal descriptor rooted at p: the
+// postorder (children before parents) list of ring records whose views are
+// missing or cached under a different orientation.
+func (e *Engine) appendTraversal(steps []*phylotree.Node, p *phylotree.Node) []*phylotree.Node {
+	if p.IsTip() {
+		return steps
+	}
+	if e.orient != nil && e.orient[p.Index] == p {
+		e.Meter.CacheHits++
+		return steps
+	}
+	steps = e.appendTraversal(steps, p.Next.Back)
+	steps = e.appendTraversal(steps, p.Next.Next.Back)
+	return append(steps, p)
+}
+
+// computeView executes one descriptor entry: combine the two child vectors
+// of ring record p into p's slot and record the orientation.
+func (e *Engine) computeView(p *phylotree.Node) {
 	q := p.Next.Back
 	r := p.Next.Next.Back
-	e.NewView(q)
-	e.NewView(r)
-
 	var qLv, rLv []float64
 	var qScale, rScale []int32
 	if !q.IsTip() {
@@ -251,6 +309,72 @@ func (e *Engine) NewView(p *phylotree.Node) {
 	}
 	e.combine(q, p.Next.Z, qLv, qScale, r, p.Next.Next.Z, rLv, rScale,
 		e.lv[p.Index], e.scale[p.Index])
+	if e.orient != nil {
+		e.orient[p.Index] = p
+	}
+}
+
+// Invalidate marks the minimal dirty set after a change to the branch
+// (p, p.Back): every cached view whose subtree contains that branch — i.e.
+// every view not oriented toward it — is dropped. Views oriented toward the
+// branch exclude it by construction and stay valid, which is what makes
+// branch smoothing O(changed path) instead of O(taxa). The walk is pure
+// pointer chasing (no kernel work) and a no-op without Config.Incremental.
+//
+// Callers that change a branch length directly via SetZ (rather than
+// through MakeNewz, which invalidates itself) must call this; topology
+// operations on a Tree wired up with AttachTree invalidate automatically.
+func (e *Engine) Invalidate(p *phylotree.Node) {
+	if e.orient == nil {
+		return
+	}
+	q := p.Back
+	if q == nil {
+		// Detached record: no branch to orient against, drop everything.
+		e.InvalidateAll()
+		return
+	}
+	e.invalidateToward(p)
+	e.invalidateToward(q)
+}
+
+// invalidateToward walks the component behind record a, clearing every
+// cached view not oriented at the record facing the changed branch (a
+// itself at this ring, the corresponding Back records deeper down).
+func (e *Engine) invalidateToward(a *phylotree.Node) {
+	if a.IsTip() {
+		return
+	}
+	if o := e.orient[a.Index]; o != nil && o != a {
+		e.orient[a.Index] = nil
+	}
+	if b := a.Next.Back; b != nil {
+		e.invalidateToward(b)
+	}
+	if b := a.Next.Next.Back; b != nil {
+		e.invalidateToward(b)
+	}
+}
+
+// InvalidateAll drops every cached partial vector; the next evaluation
+// recomputes the full tree. Model swaps and cross-tree reuse call this.
+func (e *Engine) InvalidateAll() {
+	for i := range e.orient {
+		e.orient[i] = nil
+	}
+}
+
+// AttachTree wires the engine's incremental cache to the tree's
+// branch-change hooks, so Prune/Regraft/Undo/InsertTip/RemoveTip invalidate
+// the affected views automatically, and clears the cache (the tree may have
+// been mutated before attachment). A no-op without Config.Incremental.
+// Direct SetZ calls bypass the hooks — follow them with Invalidate.
+func (e *Engine) AttachTree(tr *phylotree.Tree) {
+	if e.orient == nil {
+		return
+	}
+	tr.OnBranchChange(e.Invalidate)
+	e.InvalidateAll()
 }
 
 // needsScaling implements the 8-condition check
@@ -408,7 +532,7 @@ func (e *Engine) evaluate(p *phylotree.Node, perSite []float64) (float64, error)
 		sums := make([]float64, len(ranges))
 		stats := make([]combineStats, len(ranges))
 		unders := make([]uint64, len(ranges))
-		e.runParallel(func(pr patRange, slot int) {
+		e.runParallel(ranges, func(pr patRange, slot int) {
 			sums[slot], stats[slot], unders[slot] = work(pr)
 		})
 		for i := range sums {

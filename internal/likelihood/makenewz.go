@@ -35,9 +35,14 @@ func (e *Engine) MakeNewz(p *phylotree.Node) (float64, float64, error) {
 	if p.IsTip() {
 		p, q = q, p
 	}
+	// After these two calls every valid cached view is oriented toward the
+	// branch (p, q): the traversal recomputes exactly the mis-oriented
+	// nodes, so the final SetZ below only dirties views the Invalidate
+	// walk actually finds stale.
 	e.NewView(p)
 	e.NewView(q)
 	e.Meter.MakenewzCalls++
+	zEntry := p.Z
 
 	g := e.Mod.GTR
 	ncat := e.ncat
@@ -156,5 +161,8 @@ func (e *Engine) MakeNewz(p *phylotree.Node) (float64, float64, error) {
 		bestLL, bestT = ll, t
 	}
 	p.SetZ(bestT)
+	if p.Z != zEntry {
+		e.Invalidate(p)
+	}
 	return bestT, bestLL, nil
 }

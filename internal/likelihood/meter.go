@@ -37,6 +37,11 @@ type Meter struct {
 	TipTipCalls     uint64 // newview specialization usage
 	TipInnerCalls   uint64
 	InnerInnerCalls uint64
+
+	// CacheHits counts traversal-descriptor stops at valid cached vectors
+	// (Config.Incremental): newview work avoided, not performed. All other
+	// counters always reflect only the operations actually executed.
+	CacheHits uint64
 }
 
 // Add accumulates other into m.
@@ -57,6 +62,7 @@ func (m *Meter) Add(other *Meter) {
 	m.TipTipCalls += other.TipTipCalls
 	m.TipInnerCalls += other.TipInnerCalls
 	m.InnerInnerCalls += other.InnerInnerCalls
+	m.CacheHits += other.CacheHits
 }
 
 // Reset zeroes all counters.
@@ -69,8 +75,8 @@ func (m *Meter) Flops() uint64 { return m.Muls + m.Adds }
 // quoted in Section 5.2 of the paper.
 func (m *Meter) String() string {
 	return fmt.Sprintf(
-		"newview=%d makenewz=%d evaluate=%d flops=%d (mul=%d add=%d) exp=%d log=%d scaleChecks=%d scaleEvents=%d bigIters=%d bytes=%d",
+		"newview=%d makenewz=%d evaluate=%d flops=%d (mul=%d add=%d) exp=%d log=%d scaleChecks=%d scaleEvents=%d bigIters=%d bytes=%d cacheHits=%d",
 		m.NewviewCalls, m.MakenewzCalls, m.EvaluateCalls,
 		m.Flops(), m.Muls, m.Adds, m.Exps, m.Logs,
-		m.ScaleChecks, m.ScaleEvents, m.BigLoopIters, m.BytesStreamed)
+		m.ScaleChecks, m.ScaleEvents, m.BigLoopIters, m.BytesStreamed, m.CacheHits)
 }

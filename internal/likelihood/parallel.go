@@ -64,9 +64,11 @@ func (e *Engine) splitPatterns() []patRange {
 	return out
 }
 
-// runParallel executes fn over the pattern ranges on worker goroutines.
-func (e *Engine) runParallel(fn func(r patRange, slot int)) {
-	ranges := e.splitPatterns()
+// runParallel executes fn over the given pattern ranges on worker
+// goroutines. Callers compute the ranges once with splitPatterns (they
+// usually also need them to size per-slot result buffers) and pass them in,
+// so the partitioning is not recomputed per fan-out.
+func (e *Engine) runParallel(ranges []patRange, fn func(r patRange, slot int)) {
 	var wg sync.WaitGroup
 	for slot, r := range ranges {
 		wg.Add(1)
@@ -121,7 +123,7 @@ func (e *Engine) newtonReduce(sumTab, e0, e1, e2 []float64, weights []int) (ll, 
 			uf, lg     uint64
 		}
 		parts := make([]part, len(ranges))
-		e.runParallel(func(pr patRange, slot int) {
+		e.runParallel(ranges, func(pr patRange, slot int) {
 			p := &parts[slot]
 			p.ll, p.d1, p.d2, p.uf, p.lg = work(pr)
 		})

@@ -194,7 +194,7 @@ func (e *Engine) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int
 	if e.parallel() {
 		ranges := e.splitPatterns()
 		stats := make([]combineStats, len(ranges))
-		e.runParallel(func(pr patRange, slot int) {
+		e.runParallel(ranges, func(pr patRange, slot int) {
 			stats[slot] = work(pr)
 		})
 		for _, st := range stats {

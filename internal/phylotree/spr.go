@@ -26,10 +26,16 @@ func (t *Tree) Prune(p *Node) (*PrunedSubtree, error) {
 		return nil, fmt.Errorf("phylotree: prune target already detached")
 	}
 	ps := &PrunedSubtree{P: p, Q: q, R: r, QZ: p.Next.Z, RZ: p.Next.Next.Z}
+	// Notify the two branches about to be destroyed while the topology is
+	// still connected (observers walk outward from both ends), then the
+	// re-joined branch once it exists.
+	t.notifyBranch(p.Next)
+	t.notifyBranch(p.Next.Next)
 	Connect(q, r, ps.QZ+ps.RZ)
 	p.Next.Back = nil
 	p.Next.Next.Back = nil
 	t.removeInner(p.Index)
+	t.notifyBranch(q)
 	return ps, nil
 }
 
@@ -52,10 +58,13 @@ func (t *Tree) RegraftZ(ps *PrunedSubtree, at *Node, zAt, zOther float64) error 
 	if at == p || at.Back == p {
 		return fmt.Errorf("phylotree: cannot regraft into the pruned branch")
 	}
+	t.notifyBranch(at) // the branch about to be split
 	other := at.Back
 	Connect(p.Next, at, zAt)
 	Connect(p.Next.Next, other, zOther)
 	t.reuseInner(p)
+	t.notifyBranch(p.Next)
+	t.notifyBranch(p.Next.Next)
 	return nil
 }
 
@@ -65,10 +74,13 @@ func (t *Tree) Undo(ps *PrunedSubtree) error {
 	if ps.Q.Back != ps.R {
 		return fmt.Errorf("phylotree: cannot undo, joined branch was modified")
 	}
+	t.notifyBranch(ps.Q) // the joined branch about to be destroyed
 	p := ps.P
 	Connect(p.Next, ps.Q, ps.QZ)
 	Connect(p.Next.Next, ps.R, ps.RZ)
 	t.reuseInner(p)
+	t.notifyBranch(p.Next)
+	t.notifyBranch(p.Next.Next)
 	return nil
 }
 
@@ -88,6 +100,10 @@ func (t *Tree) RemoveTip(ti int) error {
 	if a.Back == nil || b.Back == nil {
 		return fmt.Errorf("phylotree: host ring of tip %d is partially detached", ti)
 	}
+	t.notifyBranch(tip)
+	t.notifyBranch(a)
+	t.notifyBranch(b)
+	join := a.Back
 	Connect(a.Back, b.Back, a.Z+b.Z)
 	tip.Back = nil
 	host.Back = nil
@@ -95,6 +111,7 @@ func (t *Tree) RemoveTip(ti int) error {
 	b.Back = nil
 	t.removeInner(host.Index)
 	t.freeIdx = append(t.freeIdx, host.Index)
+	t.notifyBranch(join)
 	return nil
 }
 

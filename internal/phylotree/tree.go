@@ -82,6 +82,8 @@ type Tree struct {
 	inner     []*Node // one representative record per internal ring
 	nextInner int     // next internal Index to hand out
 	freeIdx   []int   // released internal indices available for reuse
+
+	branchHooks []func(*Node) // observers of topology/branch mutations
 }
 
 // NewTree allocates a tree skeleton (no topology yet) for the given taxa.
@@ -106,6 +108,29 @@ func NewTree(taxa []string) (*Tree, error) {
 		t.Tips[i] = &Node{Index: i, Name: name}
 	}
 	return t, nil
+}
+
+// OnBranchChange registers fn as an observer of the tree's own mutating
+// operations (InsertTip, RemoveTip, Prune, Regraft, Undo). fn receives one
+// directed record per affected branch, called *before* a branch is destroyed
+// — while the topology is still fully connected, so the observer can walk
+// outward from both ends — and *after* a branch is created or re-joined.
+// Likelihood engines use this to invalidate cached partial vectors (see
+// likelihood.Engine.AttachTree). Direct SetZ/Connect calls bypass the tree
+// and are not observed; callers optimizing branch lengths by hand must
+// invalidate explicitly. Hooks are not copied by Clone.
+func (t *Tree) OnBranchChange(fn func(*Node)) {
+	t.branchHooks = append(t.branchHooks, fn)
+}
+
+// notifyBranch reports a branch mutation at nd to all registered observers.
+func (t *Tree) notifyBranch(nd *Node) {
+	if nd == nil {
+		return
+	}
+	for _, fn := range t.branchHooks {
+		fn(nd)
+	}
 }
 
 // NumTips returns the number of taxa.
@@ -163,6 +188,7 @@ func (t *Tree) InitTriplet(i, j, k int) error {
 	Connect(r[0], t.Tips[i], DefaultBranchLength)
 	Connect(r[1], t.Tips[j], DefaultBranchLength)
 	Connect(r[2], t.Tips[k], DefaultBranchLength)
+	t.notifyBranch(r[0])
 	return nil
 }
 
@@ -176,6 +202,7 @@ func (t *Tree) InsertTip(ti int, at *Node) error {
 	if at == nil || at.Back == nil {
 		return fmt.Errorf("phylotree: insertion edge is detached")
 	}
+	t.notifyBranch(at) // the branch about to be split
 	other := at.Back
 	half := at.Z / 2
 	n := t.newInner()
@@ -183,6 +210,9 @@ func (t *Tree) InsertTip(ti int, at *Node) error {
 	Connect(r[0], tip, DefaultBranchLength)
 	Connect(r[1], at, half)
 	Connect(r[2], other, half)
+	t.notifyBranch(r[0])
+	t.notifyBranch(r[1])
+	t.notifyBranch(r[2])
 	return nil
 }
 
@@ -367,7 +397,9 @@ func (t *Tree) TotalBranchLength() float64 {
 	return sum
 }
 
-// Clone deep-copies the topology and branch lengths.
+// Clone deep-copies the topology and branch lengths. Branch-change hooks
+// registered with OnBranchChange are not copied: they observe this tree's
+// node identities, which the clone does not share.
 func (t *Tree) Clone() *Tree {
 	nt := &Tree{
 		Taxa:      append([]string(nil), t.Taxa...),

@@ -68,6 +68,7 @@ func nniRound(eng *likelihood.Engine, tr *phylotree.Tree, baseline, eps float64)
 				return 0, 0, fmt.Errorf("search: NNI accept: %w", err)
 			}
 			ps.P.SetZ(bestZ)
+			eng.Invalidate(ps.P) // direct SetZ bypasses the tree's hooks
 			for _, b := range []*phylotree.Node{ps.P, ps.P.Next, ps.P.Next.Next} {
 				if _, ll, err := eng.MakeNewz(b); err == nil {
 					bestLL = ll
@@ -94,6 +95,9 @@ func NNISearch(eng *likelihood.Engine, tr *phylotree.Tree, maxRounds int, eps fl
 	if eps <= 0 {
 		eps = 0.01
 	}
+	// Observe topology mutations for incremental cache invalidation (no-op
+	// when Config.Incremental is off).
+	eng.AttachTree(tr)
 	ll, err := SmoothBranches(eng, tr, 4, eps)
 	if err != nil {
 		return 0, 0, err

@@ -15,6 +15,11 @@ import (
 // SmoothBranches runs up to maxPasses Newton sweeps over every branch of
 // the tree, stopping early when a full pass improves the log-likelihood by
 // less than eps. It returns the final log-likelihood.
+//
+// No explicit cache management is needed here: MakeNewz invalidates the
+// engine's incremental partial-vector caches itself whenever it changes a
+// branch length, so under Config.Incremental each Newton step recomputes
+// only the views the previous step dirtied instead of the whole tree.
 func SmoothBranches(eng *likelihood.Engine, tr *phylotree.Tree, maxPasses int, eps float64) (float64, error) {
 	if maxPasses <= 0 {
 		maxPasses = 1

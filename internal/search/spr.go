@@ -102,6 +102,7 @@ func sprRound(eng *likelihood.Engine, tr *phylotree.Tree, radius int, baseline, 
 				return 0, 0, fmt.Errorf("search: accepting move: %w", err)
 			}
 			ps.P.SetZ(bestZ)
+			eng.Invalidate(ps.P) // direct SetZ bypasses the tree's hooks
 			// Locally optimize the three branches around the insertion.
 			for _, b := range []*phylotree.Node{ps.P, ps.P.Next, ps.P.Next.Next} {
 				if _, ll, err := eng.MakeNewz(b); err == nil {
@@ -136,6 +137,10 @@ func Run(eng *likelihood.Engine, start *phylotree.Tree, opt Options) (*Result, e
 	if err := start.Validate(); err != nil {
 		return nil, fmt.Errorf("search: starting tree: %w", err)
 	}
+	// With incremental caching enabled, let the engine observe topology
+	// mutations so cached partial vectors are invalidated automatically
+	// (no-op when Config.Incremental is off).
+	eng.AttachTree(start)
 
 	ll, err := SmoothBranches(eng, start, opt.SmoothPasses, opt.Epsilon)
 	if err != nil {
