@@ -1,0 +1,36 @@
+GO ?= go
+BIN := bin
+
+.PHONY: build test race bench lint raxmlvet fmt clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# lint mirrors the CI gates that need no network: gofmt, go vet, and the
+# project invariant suite (cmd/raxmlvet) driven through the vet tool
+# protocol. staticcheck/govulncheck run in CI where their pinned versions
+# are installed.
+lint: raxmlvet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed for:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/$(BIN)/raxmlvet ./...
+
+raxmlvet:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/raxmlvet ./cmd/raxmlvet
+
+fmt:
+	gofmt -w .
+
+clean:
+	rm -rf $(BIN)

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"raxmlcell/internal/lint"
+)
+
+// TestRegistersAllAnalyzers pins the analyzer set: dropping one from the
+// registry would silently weaken CI, so the exact names are asserted.
+func TestRegistersAllAnalyzers(t *testing.T) {
+	want := []string{"simdeterminism", "invalidatepair", "hotpathalloc", "floatcmp"}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+// buildRaxmlvet compiles the command under test into a temp dir.
+func buildRaxmlvet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "raxmlvet")
+	cmd := exec.Command("go", "build", "-o", bin, "raxmlcell/cmd/raxmlvet")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building raxmlvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeProbeModule lays out a throwaway module whose internal/sim package
+// contains a deliberate time.Now() — the acceptance probe for the lint job.
+func writeProbeModule(t *testing.T, dir string, violate bool) {
+	t.Helper()
+	body := `package sim
+
+func Tick() int64 { return 0 }
+`
+	if violate {
+		body = `package sim
+
+import "time"
+
+func Tick() int64 { return time.Now().UnixNano() }
+`
+	}
+	files := map[string]string{
+		"go.mod":              "module lintprobe\n\ngo 1.24\n",
+		"internal/sim/sim.go": body,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestVettoolProtocol drives the binary exactly as CI does:
+// go vet -vettool=raxmlvet must fail on a deliberate time.Now() inside
+// internal/sim and pass once it is removed.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and invokes the go toolchain")
+	}
+	bin := buildRaxmlvet(t)
+
+	t.Run("violation fails", func(t *testing.T) {
+		dir := t.TempDir()
+		writeProbeModule(t, dir, true)
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("go vet passed on a time.Now() violation\n%s", out)
+		}
+		if !strings.Contains(string(out), "simdeterminism") {
+			t.Fatalf("failure not attributed to simdeterminism:\n%s", out)
+		}
+	})
+
+	t.Run("clean passes", func(t *testing.T) {
+		dir := t.TempDir()
+		writeProbeModule(t, dir, false)
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = dir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+		}
+	})
+}
+
+// TestStandaloneMode exercises the go-list-backed loader the same way.
+func TestStandaloneMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and invokes the go toolchain")
+	}
+	bin := buildRaxmlvet(t)
+
+	dir := t.TempDir()
+	writeProbeModule(t, dir, true)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("standalone raxmlvet passed on a violation\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit code 2 for findings, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "wall-clock time.Now") {
+		t.Fatalf("missing finding in output:\n%s", out)
+	}
+}
+
+// TestVersionQuery checks the -V=full handshake the go command uses for
+// build caching: "<name> version devel buildID=<hash>".
+func TestVersionQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildRaxmlvet(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := strings.Fields(string(out))
+	if len(f) < 4 || f[0] != "raxmlvet" || f[1] != "version" || f[2] != "devel" ||
+		!strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Fatalf("malformed -V=full output: %q", out)
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"raxmlcell/internal/lint"
+)
+
+// vetConfig mirrors the JSON config the go command writes for each package
+// when driving a vet tool (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by cfgFile and returns
+// the process exit code: 0 clean, 1 tool/typecheck error, 2 findings.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raxmlvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "raxmlvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The go command propagates analysis facts between packages through
+	// the Vetx files. This suite is fact-free, but the output file must
+	// exist for the go command to cache the (empty) result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("raxmlvet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "raxmlvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	files, err := lint.ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "raxmlvet:", err)
+		return 1
+	}
+	imp := lint.ExportDataImporter(fset, cfg.ImportMap, func(path string) (string, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return file, nil
+	})
+	pkg, err := lint.TypeCheck(fset, cfg.ImportPath, cfg.GoVersion, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "raxmlvet:", err)
+		return 1
+	}
+
+	diags := lint.Run(pkg, lint.All())
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n",
+			d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -2,7 +2,8 @@ package cell
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 )
 
 // LocalStore is the 256 KB software-managed memory of an SPE, used as a
@@ -60,12 +61,13 @@ func (ls *LocalStore) Available() int { return ls.size - ls.used }
 // Size is the total capacity.
 func (ls *LocalStore) Size() int { return ls.size }
 
-// Segments lists allocations in name order (for diagnostics).
+// Segments lists allocations in name order (for diagnostics). Iteration
+// goes over sorted keys, never the raw map, so output order is independent
+// of Go's randomized map iteration (the simdeterminism invariant).
 func (ls *LocalStore) Segments() []string {
 	out := make([]string, 0, len(ls.segments))
-	for name, bytes := range ls.segments {
-		out = append(out, fmt.Sprintf("%s:%d", name, bytes))
+	for _, name := range slices.Sorted(maps.Keys(ls.segments)) {
+		out = append(out, fmt.Sprintf("%s:%d", name, ls.segments[name]))
 	}
-	sort.Strings(out)
 	return out
 }

@@ -88,6 +88,12 @@ type Engine struct {
 	tipPL, tipPR   []float64 // [cat*16*ns + code*ns + i]
 	underflowSites uint64
 
+	// MakeNewz Newton-iteration scratch: exp(λrt) and its first/second
+	// derivative factors per (matrix, eigenmode). Allocated once here so
+	// the per-iteration closure in MakeNewz stays allocation-free
+	// (enforced by the hotpathalloc analyzer).
+	newzE0, newzE1, newzE2 []float64
+
 	// Buffer pools for Views (lazy-SPR directed-vector caches).
 	lvPool [][]float64
 	scPool [][]int32
@@ -148,6 +154,9 @@ func NewEngine(pat *alignment.Patterns, mod *model.Model, cfg Config) (*Engine, 
 	e.pRight = make([]float64, e.nmat*ns*ns)
 	e.tipPL = make([]float64, e.nmat*16*ns)
 	e.tipPR = make([]float64, e.nmat*16*ns)
+	e.newzE0 = make([]float64, e.nmat*ns)
+	e.newzE1 = make([]float64, e.nmat*ns)
+	e.newzE2 = make([]float64, e.nmat*ns)
 	return e, nil
 }
 

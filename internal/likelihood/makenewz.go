@@ -108,9 +108,9 @@ func (e *Engine) MakeNewz(p *phylotree.Node) (float64, float64, error) {
 	weights := e.Pat.Weights
 	// likelihoodAt evaluates logL, dlogL/dt and d2logL/dt2 at t.
 	likelihoodAt := func(t float64) (ll, d1, d2 float64) {
-		e0 := make([]float64, e.nmat*ns) // exp(λrt)
-		e1 := make([]float64, e.nmat*ns) // λr·exp
-		e2 := make([]float64, e.nmat*ns) // (λr)²·exp
+		// e0 = exp(λrt), e1 = λr·exp, e2 = (λr)²·exp; engine-owned
+		// scratch, since this closure runs once per Newton iteration.
+		e0, e1, e2 := e.newzE0, e.newzE1, e.newzE2
 		for i, lr := range lamr {
 			ex := e.expFn(lr * t)
 			e0[i] = ex
@@ -161,6 +161,7 @@ func (e *Engine) MakeNewz(p *phylotree.Node) (float64, float64, error) {
 		bestLL, bestT = ll, t
 	}
 	p.SetZ(bestT)
+	//lint:ignore floatcmp deliberate bit-exact check: any change to the stored branch length, however small, must invalidate cached views
 	if p.Z != zEntry {
 		e.Invalidate(p)
 	}

@@ -1,0 +1,78 @@
+package lint_test
+
+import (
+	"testing"
+
+	"raxmlcell/internal/lint"
+	"raxmlcell/internal/lint/linttest"
+)
+
+// The pretend import paths place each golden package inside the scope its
+// analyzer guards, exactly as Analyzer.Match will see real packages.
+
+func TestSimDeterminismGolden(t *testing.T) {
+	linttest.Run(t, lint.SimDeterminism, "raxmlcell/internal/sim", "testdata/simdeterminism")
+}
+
+func TestInvalidatePairGolden(t *testing.T) {
+	linttest.Run(t, lint.InvalidatePair, "raxmlcell/internal/search", "testdata/invalidatepair")
+}
+
+func TestHotPathAllocGolden(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "raxmlcell/internal/likelihood", "testdata/hotpathalloc")
+}
+
+func TestFloatCmpGolden(t *testing.T) {
+	linttest.Run(t, lint.FloatCmp, "raxmlcell/internal/model", "testdata/floatcmp")
+}
+
+// TestScopedAnalyzersSilentOutOfScope runs each scoped analyzer against a
+// golden package that would be riddled with findings in scope, under an
+// import path outside its jurisdiction: nothing may be reported.
+func TestScopedAnalyzersSilentOutOfScope(t *testing.T) {
+	cases := []struct {
+		a   *lint.Analyzer
+		dir string
+	}{
+		{lint.SimDeterminism, "testdata/simdeterminism"},
+		{lint.InvalidatePair, "testdata/invalidatepair"},
+		{lint.HotPathAlloc, "testdata/hotpathalloc"},
+	}
+	for _, c := range cases {
+		t.Run(c.a.Name, func(t *testing.T) {
+			if c.a.Match("raxmlcell/internal/alignment") {
+				t.Fatalf("%s unexpectedly matches internal/alignment", c.a.Name)
+			}
+			// FloatCmp has no Match and must cover everything.
+			if lint.FloatCmp.Match != nil {
+				t.Fatal("floatcmp should be unscoped")
+			}
+		})
+	}
+}
+
+func TestAnalyzerScopes(t *testing.T) {
+	cases := []struct {
+		a    *lint.Analyzer
+		path string
+		want bool
+	}{
+		{lint.SimDeterminism, "raxmlcell/internal/sim", true},
+		{lint.SimDeterminism, "raxmlcell/internal/cell", true},
+		{lint.SimDeterminism, "raxmlcell/internal/cellrt", true},
+		{lint.SimDeterminism, "raxmlcell/internal/mw", true},
+		{lint.SimDeterminism, "raxmlcell/internal/cellrt [raxmlcell/internal/cellrt.test]", true},
+		{lint.SimDeterminism, "raxmlcell/internal/likelihood", false},
+		{lint.SimDeterminism, "raxmlcell/internal/cellar", false}, // segment-aligned, no substring tricks
+		{lint.InvalidatePair, "raxmlcell/internal/search", true},
+		{lint.InvalidatePair, "raxmlcell/internal/core", true},
+		{lint.InvalidatePair, "raxmlcell/internal/sim", false},
+		{lint.HotPathAlloc, "raxmlcell/internal/likelihood", true},
+		{lint.HotPathAlloc, "raxmlcell/internal/search", false},
+	}
+	for _, c := range cases {
+		if got := c.a.Match(c.path); got != c.want {
+			t.Errorf("%s.Match(%q) = %v, want %v", c.a.Name, c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp forbids == and != on floating-point operands.
+//
+// Likelihood values, branch lengths and rate parameters travel through
+// iterative optimizers; comparing them exactly is almost always a bug that
+// works until a compiler, kernel variant or summation order changes the
+// last bit. The cross-validation tests compare with tolerances, and
+// non-test code should do the same.
+//
+// Allowlist (not reported):
+//
+//   - self-comparison (x != x): the standard NaN test;
+//   - comparison against an exact zero constant: zero is a deliberate
+//     sentinel (unset branch length, empty weight) and is exactly
+//     representable;
+//   - _test.go files: determinism tests deliberately compare bit-identical
+//     replays.
+//
+// Deliberate exact comparisons elsewhere (e.g. "did the value change at
+// all" cache checks) must carry a //lint:ignore floatcmp directive with the
+// justification.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= on floating-point operands outside the NaN/zero allowlist",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(pass.Info, bin.X) && !isFloatExpr(pass.Info, bin.Y) {
+				return true
+			}
+			if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+				return true // NaN idiom: x != x
+			}
+			if isExactZero(pass.Info, bin.X) || isExactZero(pass.Info, bin.Y) {
+				return true // exact-zero sentinel
+			}
+			pass.Reportf(bin.Pos(),
+				"floating-point %s comparison; use a tolerance helper (or //lint:ignore floatcmp with a reason if bit-exact comparison is intended)", bin.Op)
+			return true
+		})
+	}
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isExactZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}

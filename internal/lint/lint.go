@@ -1,0 +1,249 @@
+// Package lint is a project-specific static-analysis suite for the
+// RAxML-Cell reproduction. It mechanically enforces the invariants the
+// codebase otherwise trusts to reviewer memory:
+//
+//   - simdeterminism: the discrete-event Cell simulator must be
+//     bit-deterministic (no wall clock, no global RNG, no map-order
+//     dependent event scheduling), or the cycle-accurate tables in
+//     EXPERIMENTS.md stop being reproducible.
+//   - invalidatepair: every direct SetZ branch-length write in the search
+//     layer must be followed by an Engine.Invalidate/InvalidateAll, or the
+//     incremental partial-likelihood cache (PR 1) silently serves stale
+//     vectors.
+//   - hotpathalloc: the likelihood inner kernels must not allocate per
+//     pattern-loop iteration or bypass the configured exp() implementation.
+//   - floatcmp: floating-point == / != is forbidden outside a small
+//     allowlist; call sites should use tolerance helpers instead.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) but is self-contained on the standard
+// library, so the repo stays dependency-free. cmd/raxmlvet drives the
+// analyzers either standalone or as a `go vet -vettool` backend.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check, in the image of analysis.Analyzer.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //lint:ignore directives
+	Doc  string // one-paragraph description of the enforced invariant
+
+	// Match restricts the analyzer to packages whose import path
+	// satisfies it; nil means every package.
+	Match func(pkgPath string) bool
+
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Fset *token.FileSet
+	Path string // import path used for Analyzer.Match
+	Pkg  *types.Package
+	Info *types.Info
+
+	// Files holds every parsed file of the package, including *_test.go
+	// files when the loader saw them. Analyzers use Pass.NonTestFiles to
+	// skip test sources.
+	Files []*ast.File
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	*Package
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// NonTestFiles returns the package files that are not _test.go sources.
+// Every analyzer in this suite skips test files: determinism of tests is
+// enforced by seeds and -race, and tests deliberately compare bit-identical
+// floating-point replays.
+func (p *Pass) NonTestFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filepath.Base(name), "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Run executes the analyzers over the package and returns the surviving
+// diagnostics: findings on lines covered by a matching //lint:ignore
+// directive are dropped. Results are ordered by position then analyzer.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(pkg.Path) {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Package: pkg, diags: &diags}
+		a.Run(pass)
+	}
+	diags = filterSuppressed(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreRe matches suppression directives:
+//
+//	//lint:ignore <name>[,<name>...] <reason>
+//
+// The directive must carry a non-empty reason and applies to findings on
+// its own line (trailing comment) or on the next line (comment above the
+// offending statement). <name> is an analyzer name or "all".
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+(.+)$`)
+
+type suppression struct {
+	analyzers map[string]bool // nil means all
+}
+
+// suppressions maps filename -> line -> directive for the package.
+func suppressions(pkg *Package) map[string]map[int]suppression {
+	out := make(map[string]map[int]suppression)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				sup := suppression{}
+				if m[1] != "all" {
+					sup.analyzers = make(map[string]bool)
+					for _, name := range strings.Split(m[1], ",") {
+						sup.analyzers[name] = true
+					}
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]suppression)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = sup
+			}
+		}
+	}
+	return out
+}
+
+func (s suppression) covers(analyzer string) bool {
+	return s.analyzers == nil || s.analyzers[analyzer]
+}
+
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	sups := suppressions(pkg)
+	var out []Diagnostic
+	for _, d := range diags {
+		byLine := sups[d.Pos.Filename]
+		if byLine != nil {
+			if s, ok := byLine[d.Pos.Line]; ok && s.covers(d.Analyzer) {
+				continue
+			}
+			if s, ok := byLine[d.Pos.Line-1]; ok && s.covers(d.Analyzer) {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// pathHasAny reports whether the import path contains one of the given
+// slash-separated fragments as a segment-aligned substring. The bracketed
+// " [foo.test]" suffix go list/vet attach to test variants is ignored.
+func pathHasAny(pkgPath string, fragments ...string) bool {
+	if i := strings.IndexByte(pkgPath, ' '); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	for _, frag := range fragments {
+		if pkgPath == frag || strings.HasSuffix(pkgPath, "/"+frag) ||
+			strings.HasPrefix(pkgPath, frag+"/") || strings.Contains(pkgPath, "/"+frag+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFuncObject resolves a selector expression like time.Now to the
+// package-level object it denotes, or nil when sel is not a qualified
+// identifier (e.g. a method selection or field access).
+func pkgFuncObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if _, ok := info.Uses[id].(*types.PkgName); !ok {
+		return nil
+	}
+	return info.Uses[sel.Sel]
+}
+
+// isMethodCall reports whether call invokes a method named name (on any
+// receiver type — the suite matches the kernel contracts by name so that
+// analyzer tests and future refactors do not depend on type identity).
+func isMethodCall(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	found := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	return ok && s.Kind() == types.MethodVal
+}

@@ -1,0 +1,152 @@
+// Package linttest is an analysistest-style golden harness for the
+// raxmlvet analyzers: a testdata directory holds a small fake package,
+// expected findings are written as trailing
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comments on the offending lines, and Run fails the test on any
+// mismatch in either direction. Suppressed findings (//lint:ignore) are
+// filtered before matching, so the suppression path is golden-tested by
+// writing a directive and no want comment.
+package linttest
+
+import (
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"raxmlcell/internal/lint"
+)
+
+// The source importer re-typechecks stdlib dependencies from GOROOT
+// source; it caches per instance, so all tests share one (guarded: the
+// importer is not documented as concurrency-safe).
+var (
+	fset      = token.NewFileSet()
+	impMu     sync.Mutex
+	stdSource = importer.ForCompiler(fset, "source", nil)
+)
+
+type lockedImporter struct{}
+
+func (lockedImporter) Import(path string) (*types.Package, error) {
+	impMu.Lock()
+	defer impMu.Unlock()
+	return stdSource.Import(path)
+}
+
+// Run analyzes the package formed by every .go file in dir under the
+// pretend import path pkgPath (so Analyzer.Match sees a realistic path)
+// and compares the diagnostics against the // want comments.
+func Run(t *testing.T, a *lint.Analyzer, pkgPath, dir string) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading testdata dir: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+	sort.Strings(filenames)
+
+	files, err := lint.ParseFiles(fset, filenames)
+	if err != nil {
+		t.Fatalf("parsing testdata: %v", err)
+	}
+	pkg, err := lint.TypeCheck(fset, pkgPath, "", files, lockedImporter{})
+	if err != nil {
+		t.Fatalf("typechecking testdata: %v", err)
+	}
+
+	diags := lint.Run(pkg, []*lint.Analyzer{a})
+
+	wants := collectWants(t, pkg)
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := make(map[key][]*want)
+	for i := range wants {
+		w := &wants[i]
+		k := key{w.file, w.line}
+		unmatched[k] = append(unmatched[k], w)
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range unmatched[k] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for _, ws := range unmatched {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("no diagnostic matched want %q at %s:%d", w.re, w.file, w.line)
+			}
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+func collectWants(t *testing.T, pkg *lint.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, a := range args {
+					pat := a[1]
+					if a[2] != "" {
+						pat = a[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

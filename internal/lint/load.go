@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load resolves the package patterns (e.g. "./...") with the go tool,
+// building export data for every dependency, and returns the type-checked
+// non-standard target packages ready for analysis. dir is the working
+// directory for the go invocation ("" = current).
+//
+// The loader leans on `go list -export -deps`: the go command compiles each
+// package once into the build cache and reports the export-data file, which
+// is exactly what the type checker needs to resolve imports without
+// re-typechecking the world from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Export,Standard,DepOnly,GoFiles,CgoFiles,ImportMap,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	byPath := make(map[string]*listedPackage)
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		p := lp
+		byPath[p.ImportPath] = &p
+		if !p.Standard && !p.DepOnly {
+			targets = append(targets, &p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 && len(t.CgoFiles) == 0 {
+			continue
+		}
+		var filenames []string
+		for _, f := range append(append([]string{}, t.GoFiles...), t.CgoFiles...) {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(t.Dir, f)
+			}
+			filenames = append(filenames, f)
+		}
+		files, err := ParseFiles(fset, filenames)
+		if err != nil {
+			return nil, err
+		}
+		imp := ExportDataImporter(fset, t.ImportMap, func(path string) (string, error) {
+			dep, ok := byPath[path]
+			if !ok || dep.Export == "" {
+				return "", fmt.Errorf("no export data for %q", path)
+			}
+			return dep.Export, nil
+		})
+		pkg, err := TypeCheck(fset, t.ImportPath, "", files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ExportDataImporter builds a types.Importer that resolves source-level
+// import paths through importMap and reads gc export data located by
+// exportFile. Both the standalone loader and the vettool mode use it; they
+// differ only in where the export files come from (go list vs. vet.cfg).
+func ExportDataImporter(fset *token.FileSet, importMap map[string]string, exportFile func(path string) (string, error)) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, err := exportFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Main is the standalone entry point shared by cmd/raxmlvet: load the
+// patterns, run the full suite, print findings, and report whether any
+// finding was produced. Output lines are "file:line:col: message (analyzer)".
+func Main(w io.Writer, dir string, patterns ...string) (clean bool, err error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return false, err
+	}
+	clean = true
+	for _, pkg := range pkgs {
+		for _, d := range Run(pkg, All()) {
+			clean = false
+			fmt.Fprintf(w, "%s\n", shortenDiag(d, dir))
+		}
+	}
+	return clean, nil
+}
+
+func shortenDiag(d Diagnostic, dir string) string {
+	if dir == "" {
+		dir, _ = os.Getwd()
+	}
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+	}
+	return d.String()
+}

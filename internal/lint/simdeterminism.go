@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimDeterminism enforces the simulator's bit-determinism contract.
+//
+// The discrete-event Cell simulator (internal/sim, internal/cell,
+// internal/cellrt) and the master-worker runtime (internal/mw) promise
+// that a run is fully determined by its inputs and seeds: the
+// cycle-accurate tables in EXPERIMENTS.md are diffed against the paper and
+// checkpoint/restart relies on replaying identical job results. Three
+// sources of hidden nondeterminism are banned inside those packages:
+//
+//   - wall-clock access (time.Now/Since/Until, timers, sleeps): simulated
+//     time comes from sim.Engine.Now; anything else leaks host scheduling
+//     into cycle counts.
+//   - the global math/rand functions and rand.Seed: every RNG must be an
+//     explicitly seeded *rand.Rand threaded through the call path, so a
+//     job's outcome is a pure function of its seed.
+//   - ranging over a map: Go randomizes map iteration order, so any event
+//     scheduling, queue fill, or accounting fed from a map range can
+//     reorder events between runs. Iterate over sorted keys instead.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc:  "forbid wall-clock, global math/rand and map-order dependence in the simulator packages",
+	Match: func(pkgPath string) bool {
+		return pathHasAny(pkgPath,
+			"internal/sim", "internal/cell", "internal/cellrt", "internal/mw")
+	},
+	Run: runSimDeterminism,
+}
+
+// forbiddenTimeFuncs are the package-level time functions that observe or
+// depend on the host clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// allowedRandFuncs are the math/rand package-level constructors that build
+// explicitly seeded generators; everything else at package level draws from
+// the global source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runSimDeterminism(pass *Pass) {
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj := pkgFuncObject(pass.Info, n)
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if forbiddenTimeFuncs[obj.Name()] {
+						pass.Reportf(n.Pos(),
+							"wall-clock time.%s is nondeterministic inside the simulator; use sim.Engine.Now (simulated cycles) or inject a clock", obj.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if _, isFunc := obj.(*types.Func); isFunc && !allowedRandFuncs[obj.Name()] {
+						pass.Reportf(n.Pos(),
+							"global math/rand.%s draws from a process-wide source; thread an explicitly seeded *rand.Rand instead", obj.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if n.X == nil {
+					return true
+				}
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(),
+							"map iteration order is randomized and can reorder simulator events between runs; iterate over sorted keys (e.g. slices.Sorted(maps.Keys(m)))")
+						return true
+					}
+				}
+				// Ranging over the raw maps.Keys/Values/All iterator
+				// has the same randomized order as the map itself.
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						if obj := pkgFuncObject(pass.Info, sel); obj != nil && obj.Pkg() != nil &&
+							obj.Pkg().Path() == "maps" &&
+							(obj.Name() == "Keys" || obj.Name() == "Values" || obj.Name() == "All") {
+							pass.Reportf(n.Pos(),
+								"maps.%s iterates in randomized order; sort first (e.g. slices.Sorted(maps.Keys(m)))", obj.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,41 @@
+// Golden input for the floatcmp analyzer (active in every package):
+// floating-point == / != outside the NaN-idiom and exact-zero allowlist is
+// reported.
+package floatcmp
+
+func badEq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func badMixed(a float64) bool {
+	return a == 0.3 // want `floating-point == comparison`
+}
+
+func badComplex(a, b complex128) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func nanIdiom(a float64) bool {
+	return a != a // self-comparison: the NaN test, allowed
+}
+
+func zeroSentinel(a float64) bool {
+	return a == 0 // exact-zero sentinel: allowed
+}
+
+func zeroSentinelTyped(a float64) bool {
+	return 0.0 != a // exact-zero sentinel, reversed operands: allowed
+}
+
+func intCompare(a, b int) bool {
+	return a == b // integers compare exactly: allowed
+}
+
+func suppressedBitExact(a, b float64) bool {
+	//lint:ignore floatcmp replay check: kernels must reproduce bit-identical values
+	return a == b
+}

@@ -1,0 +1,62 @@
+// Golden input for the hotpathalloc analyzer: this file pretends to live in
+// raxmlcell/internal/likelihood. Functions whose names contain
+// combine/newview/makenewz/evaluate/fastexp are kernels; allocations in
+// their loops or closures and raw math.Exp calls are reported.
+package likelihood
+
+import (
+	"fmt"
+	"math"
+)
+
+func combineLoopAllocs(pats int) []float64 {
+	var out []float64
+	for pat := 0; pat < pats; pat++ {
+		out = append(out, float64(pat)) // want `append inside a per-pattern loop`
+		buf := make([]float64, 4)       // want `make allocates inside a per-pattern loop`
+		tmp := []float64{1, 2}          // want `slice/map literal allocates inside a per-pattern loop`
+		_ = fmt.Sprintf("%d", pat)      // want `fmt.Sprintf inside a per-pattern loop`
+		out[pat] += buf[0] + tmp[0]
+	}
+	return out
+}
+
+func evaluateRawExp(x float64) float64 {
+	return math.Exp(x) // want `raw math.Exp in kernel evaluateRawExp`
+}
+
+func makenewzClosureAlloc(n int) float64 {
+	likelihoodAt := func(t float64) float64 {
+		buf := make([]float64, 4) // want `make allocates inside a per-iteration closure`
+		return buf[0] + t
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += likelihoodAt(float64(i))
+	}
+	return s
+}
+
+func newviewPreallocated(pats int) []float64 {
+	out := make([]float64, pats) // allocation outside any loop: allowed
+	var scratch [4]float64       // fixed-size array: stack, allowed
+	for pat := 0; pat < pats; pat++ {
+		scratch[0] = float64(pat)
+		out[pat] = scratch[0]
+	}
+	return out
+}
+
+func fastexpSuppressed(x float64) float64 {
+	//lint:ignore hotpathalloc reference implementation compared against in calibration
+	return math.Exp(x)
+}
+
+// notAKernel is outside the hot set: the same patterns are allowed.
+func notAKernel(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+// Golden input for the invalidatepair analyzer: this file pretends to live
+// in raxmlcell/internal/search, where a direct SetZ must be followed by an
+// Engine.Invalidate/InvalidateAll in the same function. The stub types
+// mirror the shapes of phylotree.Node and likelihood.Engine; the analyzer
+// matches the contract by method name, not type identity.
+package search
+
+type node struct{ z float64 }
+
+func (n *node) SetZ(z float64) { n.z = z }
+
+type engine struct{ dirty bool }
+
+func (e *engine) Invalidate(n *node) { e.dirty = true }
+func (e *engine) InvalidateAll()     { e.dirty = true }
+
+func badUnpaired(e *engine, n *node) {
+	n.SetZ(0.5) // want `not followed by Engine.Invalidate`
+}
+
+func badInvalidateBefore(e *engine, n *node) {
+	e.Invalidate(n)
+	n.SetZ(0.5) // want `not followed by Engine.Invalidate`
+}
+
+func goodPaired(e *engine, n *node) {
+	n.SetZ(0.5)
+	e.Invalidate(n)
+}
+
+func goodPairedAll(e *engine, n *node) {
+	n.SetZ(0.5)
+	e.InvalidateAll()
+}
+
+func goodMultiple(e *engine, a, b *node) {
+	a.SetZ(0.25)
+	b.SetZ(0.75)
+	e.InvalidateAll()
+}
+
+func setZFreeFunc(z float64) float64 {
+	// A plain function named SetZ is not the Node method contract.
+	setZ := func(v float64) float64 { return v }
+	return setZ(z)
+}
+
+func suppressedNoEngine(n *node) {
+	//lint:ignore invalidatepair tree construction path: no engine can be attached yet
+	n.SetZ(0.25)
+}

@@ -1,0 +1,71 @@
+// Golden input for the simdeterminism analyzer: this file pretends to live
+// in raxmlcell/internal/sim, where wall-clock access, global math/rand and
+// map-order iteration are banned.
+package sim
+
+import (
+	"maps"
+	"math/rand"
+	"time"
+)
+
+func badClock() int64 {
+	t := time.Now()             // want `wall-clock time.Now`
+	time.Sleep(time.Nanosecond) // want `wall-clock time.Sleep`
+	d := time.Since(t)          // want `wall-clock time.Since`
+	return d.Nanoseconds()
+}
+
+func badTimer(done func()) {
+	time.AfterFunc(time.Millisecond, done) // want `wall-clock time.AfterFunc`
+}
+
+func badGlobalRand() int {
+	rand.Seed(42)                      // want `global math/rand.Seed`
+	n := rand.Intn(10)                 // want `global math/rand.Intn`
+	f := rand.Float64()                // want `global math/rand.Float64`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle`
+	return n + int(f)
+}
+
+func badRandFuncValue() func() float64 {
+	return rand.Float64 // want `global math/rand.Float64`
+}
+
+func goodSeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // explicitly seeded: allowed
+	return rng.Intn(10)
+}
+
+func badMapOrder(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want `map iteration order is randomized`
+		s += v
+	}
+	return s
+}
+
+func badMapsKeysOrder(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want `maps.Keys iterates in randomized order`
+		out = append(out, k)
+	}
+	return out
+}
+
+func goodSliceOrder(xs []int) int {
+	s := 0
+	for _, v := range xs { // slices are ordered: allowed
+		s += v
+	}
+	return s
+}
+
+func suppressedMapOrder(m map[string]int) int {
+	s := 0
+	//lint:ignore simdeterminism accumulation is commutative, order cannot leak into event times
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

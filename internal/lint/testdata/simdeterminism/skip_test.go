@@ -1,0 +1,10 @@
+// _test.go files are exempt from simdeterminism: test determinism is
+// enforced by seeds and -race, and timeout guards legitimately touch the
+// host clock. Nothing in this file may be reported.
+package sim
+
+import "time"
+
+func testOnlyClock() time.Time {
+	return time.Now() // allowed: test file
+}

@@ -45,6 +45,7 @@ func MajorityRuleConsensus(trees []*Tree, threshold float64) (*ConsensusNode, er
 	}
 	var clades []clade
 	minCount := int(threshold*float64(len(trees))) + 1
+	//lint:ignore floatcmp 0.5 is exactly representable; this detects the strict-majority special case, not a computed value
 	if threshold == 0.5 && len(trees)%2 == 0 {
 		minCount = len(trees)/2 + 1
 	}

@@ -308,6 +308,7 @@ func (t *Tree) Validate() error {
 		if nd.Back.Back != nd {
 			return fmt.Errorf("phylotree: asymmetric Back at node %d", nd.Index)
 		}
+		//lint:ignore floatcmp invariant check: both directions of a branch must hold the bit-identical length, any drift is a wiring bug
 		if nd.Z != nd.Back.Z {
 			return fmt.Errorf("phylotree: branch length mismatch at node %d: %g vs %g", nd.Index, nd.Z, nd.Back.Z)
 		}
