@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race bench lint raxmlvet fmt clean
+.PHONY: build test race bench chaos fuzz lint raxmlvet fmt clean
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,20 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# chaos replays the fault-injection campaigns under the race detector with a
+# pinned seed, so a failure here is reproducible bit for bit. Override
+# RAXML_CHAOS_SEED to explore other fault schedules.
+chaos:
+	RAXML_CHAOS_SEED=$${RAXML_CHAOS_SEED:-42} $(GO) test -race -count=1 \
+		-run 'Chaos|Supervise|Quarantine|Retry|Hang|Backoff|Checkpoint|Resumed|Fault' \
+		./internal/mw/... ./internal/fault/... ./internal/core/...
+
+# fuzz throws random bytes at the checkpoint loaders for a short, CI-sized
+# session; longer local runs: make fuzz FUZZTIME=10m
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzLoadCheckpoint -fuzztime=$(FUZZTIME) ./internal/mw
 
 # lint mirrors the CI gates that need no network: gofmt, go vet, and the
 # project invariant suite (cmd/raxmlvet) driven through the vet tool

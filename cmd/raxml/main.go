@@ -45,6 +45,9 @@ func main() {
 		optModel   = flag.Bool("opt-model", false, "fit the GTR exchangeabilities on each final tree")
 		startTree  = flag.String("start", "parsimony", "starting tree: parsimony, nj or random")
 		checkpoint = flag.String("checkpoint", "", "persist completed jobs to this file and resume from it")
+		retries    = flag.Int("retries", 1, "retries per job after a failure (crash, timeout, invalid result)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job attempt deadline; a hung job is killed and retried (0 = none)")
+		maxQuar    = flag.Int("max-quarantine", 0, "jobs allowed to fail all attempts before the campaign aborts (-1 = unlimited, report partial results)")
 		draw       = flag.Bool("draw", false, "print an ASCII rendering of the best tree")
 		treesOut   = flag.String("trees-out", "", "write all result trees (best + bootstraps) to this NEXUS file")
 		out        = flag.String("out", "", "write the best tree (Newick) to this file")
@@ -78,14 +81,17 @@ func main() {
 		pat.NumTaxa, pat.NumSites, pat.NumPatterns())
 
 	cfg := core.Config{
-		Inferences: *inferences,
-		Bootstraps: *bootstraps,
-		Seed:       *seed,
-		Workers:    *workers,
-		Alpha:      *alpha,
-		Cats:       *cats,
-		StartTree:  *startTree,
-		Checkpoint: *checkpoint,
+		Inferences:    *inferences,
+		Bootstraps:    *bootstraps,
+		Seed:          *seed,
+		Workers:       *workers,
+		Alpha:         *alpha,
+		Cats:          *cats,
+		StartTree:     *startTree,
+		Checkpoint:    *checkpoint,
+		Retries:       *retries,
+		JobTimeout:    *jobTimeout,
+		MaxQuarantine: *maxQuar,
 		Search: search.Options{
 			Radius: *radius, MaxRounds: *rounds,
 			SmoothPasses: 4, Epsilon: 0.01, AlphaOpt: true, ModelOpt: *optModel,
@@ -99,8 +105,27 @@ func main() {
 
 	if *verbose {
 		for _, r := range analysis.Results {
+			if r.Err != nil {
+				fmt.Printf("  %-9v #%-3d quarantined: %v\n", r.Job.Kind, r.Job.Index, r.Err)
+				continue
+			}
 			fmt.Printf("  %-9v #%-3d logL=%.4f alpha=%.3f\n",
 				r.Job.Kind, r.Job.Index, r.LogL, r.Alpha)
+		}
+	}
+	st := analysis.Stats
+	if st.Retries > 0 || st.Timeouts > 0 || len(analysis.Quarantined) > 0 ||
+		st.CheckpointFailures > 0 || st.CheckpointRecovered {
+		fmt.Printf("supervision: %d attempts for %d jobs (%d retries, %d timeouts), %d quarantined\n",
+			st.Attempts, len(analysis.Results), st.Retries, st.Timeouts, len(analysis.Quarantined))
+		if st.CheckpointFailures > 0 {
+			fmt.Printf("supervision: %d checkpoint write failures deferred and flushed\n", st.CheckpointFailures)
+		}
+		if st.CheckpointRecovered {
+			fmt.Println("supervision: damaged checkpoint set aside (.corrupt); lost jobs recomputed")
+		}
+		for _, q := range analysis.Quarantined {
+			fmt.Printf("  quarantined %v #%d after %d attempts: %v\n", q.Job.Kind, q.Job.Index, q.Attempts, q.Err)
 		}
 	}
 	fmt.Printf("best ML tree: logL=%.4f alpha=%.3f\n", analysis.BestLogL, analysis.Alpha)
@@ -109,14 +134,18 @@ func main() {
 		for _, v := range analysis.Support {
 			vals = append(vals, v)
 		}
-		sort.Float64s(vals)
-		mean := 0.0
-		for _, v := range vals {
-			mean += v
+		if len(vals) == 0 {
+			fmt.Println("bootstrap support: no surviving replicates")
+		} else {
+			sort.Float64s(vals)
+			mean := 0.0
+			for _, v := range vals {
+				mean += v
+			}
+			mean /= float64(len(vals))
+			fmt.Printf("bootstrap support over %d internal branches: mean %.2f, min %.2f, max %.2f\n",
+				len(vals), mean, vals[0], vals[len(vals)-1])
 		}
-		mean /= float64(len(vals))
-		fmt.Printf("bootstrap support over %d internal branches: mean %.2f, min %.2f, max %.2f\n",
-			len(vals), mean, vals[0], vals[len(vals)-1])
 	}
 	fmt.Printf("kernel profile: %s\n", analysis.Meter.String())
 
@@ -137,6 +166,9 @@ func main() {
 	if *treesOut != "" {
 		trees := []phylotree.NamedTree{{Name: "best", Tree: analysis.Best}}
 		for _, r := range analysis.Results {
+			if r.Err != nil {
+				continue // quarantined jobs carry no tree
+			}
 			tr, err := phylotree.ParseNewick(r.Newick)
 			if err != nil {
 				log.Fatal(err)

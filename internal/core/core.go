@@ -10,15 +10,18 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"raxmlcell/internal/alignment"
 	"raxmlcell/internal/cell"
 	"raxmlcell/internal/cellrt"
+	"raxmlcell/internal/fault"
 	"raxmlcell/internal/likelihood"
 	"raxmlcell/internal/model"
 	"raxmlcell/internal/mw"
 	"raxmlcell/internal/phylotree"
 	"raxmlcell/internal/search"
+	"raxmlcell/internal/wallclock"
 	"raxmlcell/internal/workload"
 )
 
@@ -38,8 +41,33 @@ type Config struct {
 	StartTree string
 
 	// Checkpoint, when non-empty, persists every completed job to this
-	// file and resumes from it on restart (see mw.RunWithCheckpoint).
+	// file and resumes from it on restart (see mw.SuperviseWithCheckpoint).
+	// A damaged checkpoint file is set aside and recomputed, not fatal.
 	Checkpoint string
+
+	// Retries is the attempt budget per job before it is quarantined;
+	// values below 1 mean a single attempt (no retries). Retried jobs
+	// reproduce bit-identical results because every job is a pure
+	// function of its seed.
+	Retries int
+
+	// JobTimeout is the per-attempt deadline for hung-worker detection;
+	// zero disables deadlines.
+	JobTimeout time.Duration
+
+	// MaxQuarantine is the number of quarantined (permanently failed)
+	// jobs tolerated before the campaign aborts. 0 — the default — aborts
+	// on the first quarantined job; a negative value disables the limit,
+	// so the analysis completes with a partial-results report.
+	MaxQuarantine int
+
+	// Fault injects deterministic faults into the campaign (chaos tests
+	// only; leave nil for real analyses).
+	Fault *fault.Injector
+
+	// Clock overrides the supervision time source; nil selects the wall
+	// clock. Tests inject deterministic clocks here.
+	Clock fault.Clock
 
 	Search search.Options
 
@@ -61,6 +89,7 @@ func DefaultConfig() Config {
 		Workers:    4,
 		Alpha:      0.8,
 		Cats:       4,
+		Retries:    1, // no retries; raise for flaky environments
 		Search:     search.DefaultOptions(),
 	}
 }
@@ -76,6 +105,14 @@ type Analysis struct {
 	Consensus *phylotree.ConsensusNode
 	Results   []mw.JobResult   // every job, ordered (inferences then bootstraps)
 	Meter     likelihood.Meter // aggregate kernel operations across all jobs
+
+	// Quarantined lists jobs that exhausted their attempt budget; when
+	// non-empty (and within Config.MaxQuarantine) the analysis is a
+	// partial-results report over the surviving jobs.
+	Quarantined []mw.Quarantine
+	// Stats carries the supervision accounting: attempts, retries,
+	// timeouts, and checkpoint failures/recovery.
+	Stats mw.Stats
 }
 
 // ModelFor builds a GTR+Γ model with empirical base frequencies from the
@@ -110,22 +147,33 @@ func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
 		StartTree: cfg.StartTree,
 		Search:    cfg.Search,
 		Kernel:    cfg.Kernel,
+		Retry: mw.RetryPolicy{
+			MaxAttempts: cfg.Retries,
+			JobTimeout:  cfg.JobTimeout,
+			Backoff:     200 * time.Millisecond,
+			MaxBackoff:  5 * time.Second,
+		},
+		Fault: cfg.Fault,
+		Clock: cfg.Clock,
 	}
-	var results []mw.JobResult
+	if cfg.MaxQuarantine >= 0 {
+		mwCfg.Retry.LimitQuarantine = true
+		mwCfg.Retry.MaxQuarantine = cfg.MaxQuarantine
+	}
+	if mwCfg.Clock == nil {
+		mwCfg.Clock = wallclock.Clock{}
+	}
+	var rep *mw.Report
 	var err2 error
 	if cfg.Checkpoint != "" {
-		results, err2 = mw.RunWithCheckpoint(pat, mod, jobs, mwCfg, cfg.Checkpoint)
+		rep, err2 = mw.SuperviseWithCheckpoint(pat, mod, jobs, mwCfg, cfg.Checkpoint)
 	} else {
-		results, err2 = mw.Run(pat, mod, jobs, mwCfg)
+		rep, err2 = mw.Supervise(pat, mod, jobs, mwCfg)
 	}
 	if err2 != nil {
-		return nil, err2
+		return nil, fmt.Errorf("core: campaign failed: %w", err2)
 	}
-	for _, r := range results {
-		if r.Err != nil {
-			return nil, fmt.Errorf("core: %v job %d: %w", r.Job.Kind, r.Job.Index, r.Err)
-		}
-	}
+	results := rep.Results
 
 	best, err := mw.Best(results, mw.Inference)
 	if err != nil {
@@ -140,19 +188,26 @@ func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
 	}
 
 	a := &Analysis{
-		Best:     bestTree,
-		BestLogL: best.LogL,
-		Alpha:    best.Alpha,
-		Results:  results,
+		Best:        bestTree,
+		BestLogL:    best.LogL,
+		Alpha:       best.Alpha,
+		Results:     results,
+		Quarantined: rep.Quarantined,
+		Stats:       rep.Stats,
 	}
 	for i := range results {
-		a.Meter.Add(&results[i].Meter)
+		if results[i].Err == nil {
+			a.Meter.Add(&results[i].Meter)
+		}
 	}
 
 	if cfg.Bootstraps > 0 {
+		// Quarantined bootstraps are excluded: support values are computed
+		// over the replicates that survived, which is exactly the partial-
+		// results semantics of a degraded campaign.
 		var boots []*phylotree.Tree
 		for _, r := range results {
-			if r.Job.Kind != mw.Bootstrap {
+			if r.Job.Kind != mw.Bootstrap || r.Err != nil {
 				continue
 			}
 			bt, err := phylotree.ParseNewick(r.Newick)
@@ -164,11 +219,13 @@ func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
 			}
 			boots = append(boots, bt)
 		}
-		support, err := phylotree.SupportValues(bestTree, boots)
-		if err != nil {
-			return nil, err
+		if len(boots) > 0 {
+			support, err := phylotree.SupportValues(bestTree, boots)
+			if err != nil {
+				return nil, err
+			}
+			a.Support = support
 		}
-		a.Support = support
 		if len(boots) >= 2 {
 			cons, err := phylotree.MajorityRuleConsensus(boots, 0.5)
 			if err != nil {
@@ -272,7 +329,7 @@ func AnalyzeAdaptive(pat *alignment.Patterns, cfg Config, step, maxBoots int, th
 		}
 		var boots []*phylotree.Tree
 		for _, r := range a.Results {
-			if r.Job.Kind != mw.Bootstrap {
+			if r.Job.Kind != mw.Bootstrap || r.Err != nil {
 				continue
 			}
 			bt, err := phylotree.ParseNewick(r.Newick)

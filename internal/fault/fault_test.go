@@ -1,0 +1,188 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNewValidates(t *testing.T) {
+	bad := []Config{
+		{PCrash: -0.1},
+		{PHang: 1.1},
+		{PCheckpoint: 2},
+		{PCrash: 0.5, PHang: 0.3, PSlow: 0.2, PCorrupt: 0.1}, // sum > 1
+		{SlowDelay: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+	in, err := New(Config{Seed: 1, PCrash: 0.25, PHang: 0.25, PSlow: 0.25, PCorrupt: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in == nil {
+		t.Fatal("nil injector")
+	}
+}
+
+func TestDecisionsAreDeterministic(t *testing.T) {
+	cfg := Config{Seed: 99, PCrash: 0.2, PHang: 0.2, PSlow: 0.2, PCorrupt: 0.2, SlowDelay: 3 * time.Millisecond}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(-5); seed < 50; seed++ {
+		for attempt := 1; attempt <= 8; attempt++ {
+			da, db := a.JobAttempt(seed, attempt), b.JobAttempt(seed, attempt)
+			if da != db {
+				t.Fatalf("seed %d attempt %d: %+v != %+v", seed, attempt, da, db)
+			}
+		}
+	}
+	for n := 1; n <= 200; n++ {
+		if a.CheckpointWrite(n) != b.CheckpointWrite(n) {
+			t.Fatalf("checkpoint decision %d differs between identical injectors", n)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, _ := New(Config{Seed: 1, PCrash: 0.5})
+	b, _ := New(Config{Seed: 2, PCrash: 0.5})
+	same := 0
+	for seed := int64(0); seed < 200; seed++ {
+		if a.JobAttempt(seed, 1).Kind == b.JobAttempt(seed, 1).Kind {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Error("injector seed has no effect on decisions")
+	}
+}
+
+func TestDecisionFrequencies(t *testing.T) {
+	in, err := New(Config{Seed: 7, PCrash: 0.1, PHang: 0.2, PSlow: 0.3, PCorrupt: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000
+	counts := map[Kind]int{}
+	for i := 0; i < n; i++ {
+		counts[in.JobAttempt(int64(i), 1).Kind]++
+	}
+	want := map[Kind]float64{Crash: 0.1, Hang: 0.2, SlowDown: 0.3, Corrupt: 0.15, None: 0.25}
+	for kind, p := range want {
+		got := float64(counts[kind]) / n
+		if math.Abs(got-p) > 0.015 {
+			t.Errorf("%v frequency %.4f, want ~%.2f", kind, got, p)
+		}
+	}
+}
+
+func TestZeroConfigNeverFires(t *testing.T) {
+	in, err := New(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if d := in.JobAttempt(int64(i), 1+i%5); d.Kind != None {
+			t.Fatalf("zero-probability injector fired %v", d.Kind)
+		}
+		if in.CheckpointWrite(i + 1) {
+			t.Fatal("zero-probability injector failed a checkpoint write")
+		}
+	}
+}
+
+func TestAttemptsAreIndependent(t *testing.T) {
+	// A job that crashed on attempt 1 must not be doomed to crash forever:
+	// the per-attempt draws have to differ.
+	in, _ := New(Config{Seed: 11, PCrash: 0.5})
+	varies := false
+	for seed := int64(0); seed < 50 && !varies; seed++ {
+		first := in.JobAttempt(seed, 1).Kind
+		for attempt := 2; attempt <= 6; attempt++ {
+			if in.JobAttempt(seed, attempt).Kind != first {
+				varies = true
+				break
+			}
+		}
+	}
+	if !varies {
+		t.Error("fault decisions identical across attempts; retries could never succeed")
+	}
+}
+
+func TestSlowDownCarriesDelay(t *testing.T) {
+	in, _ := New(Config{Seed: 5, PSlow: 1, SlowDelay: 7 * time.Millisecond})
+	d := in.JobAttempt(123, 1)
+	if d.Kind != SlowDown || d.Delay != 7*time.Millisecond {
+		t.Errorf("decision %+v, want SlowDown with 7ms delay", d)
+	}
+	// Default delay kicks in when unset.
+	in2, _ := New(Config{Seed: 5, PSlow: 1})
+	if d := in2.JobAttempt(123, 1); d.Delay != time.Millisecond {
+		t.Errorf("default SlowDelay = %v, want 1ms", d.Delay)
+	}
+}
+
+func TestCheckpointWriteFrequency(t *testing.T) {
+	in, _ := New(Config{Seed: 21, PCheckpoint: 0.4})
+	fails := 0
+	const n = 20000
+	for i := 1; i <= n; i++ {
+		if in.CheckpointWrite(i) {
+			fails++
+		}
+	}
+	if got := float64(fails) / n; math.Abs(got-0.4) > 0.02 {
+		t.Errorf("checkpoint failure frequency %.4f, want ~0.4", got)
+	}
+}
+
+func TestJitter(t *testing.T) {
+	seen := map[float64]bool{}
+	for seed := int64(0); seed < 100; seed++ {
+		for attempt := 1; attempt <= 4; attempt++ {
+			j := Jitter(seed, attempt)
+			if j < 0 || j >= 1 {
+				t.Fatalf("Jitter(%d,%d) = %v outside [0,1)", seed, attempt, j)
+			}
+			if j != Jitter(seed, attempt) {
+				t.Fatalf("Jitter(%d,%d) not deterministic", seed, attempt)
+			}
+			seen[j] = true
+		}
+	}
+	if len(seen) < 350 {
+		t.Errorf("only %d distinct jitter values over 400 coordinates", len(seen))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		None: "none", Crash: "crash", Hang: "hang", SlowDown: "slowdown",
+		Corrupt: "corrupt", CheckpointWrite: "checkpoint-write", Kind(42): "Kind(42)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestErrInjectedIdentity(t *testing.T) {
+	wrapped := fmt.Errorf("worker crash: %w", ErrInjected)
+	if !errors.Is(wrapped, ErrInjected) {
+		t.Error("wrapped injected error lost identity")
+	}
+}

@@ -61,9 +61,11 @@ func TestAnalyzerScopes(t *testing.T) {
 		{lint.SimDeterminism, "raxmlcell/internal/cell", true},
 		{lint.SimDeterminism, "raxmlcell/internal/cellrt", true},
 		{lint.SimDeterminism, "raxmlcell/internal/mw", true},
+		{lint.SimDeterminism, "raxmlcell/internal/fault", true},
 		{lint.SimDeterminism, "raxmlcell/internal/cellrt [raxmlcell/internal/cellrt.test]", true},
 		{lint.SimDeterminism, "raxmlcell/internal/likelihood", false},
-		{lint.SimDeterminism, "raxmlcell/internal/cellar", false}, // segment-aligned, no substring tricks
+		{lint.SimDeterminism, "raxmlcell/internal/wallclock", false}, // the one sanctioned wall-clock impl
+		{lint.SimDeterminism, "raxmlcell/internal/cellar", false},    // segment-aligned, no substring tricks
 		{lint.InvalidatePair, "raxmlcell/internal/search", true},
 		{lint.InvalidatePair, "raxmlcell/internal/core", true},
 		{lint.InvalidatePair, "raxmlcell/internal/sim", false},

@@ -8,11 +8,12 @@ import (
 // SimDeterminism enforces the simulator's bit-determinism contract.
 //
 // The discrete-event Cell simulator (internal/sim, internal/cell,
-// internal/cellrt) and the master-worker runtime (internal/mw) promise
-// that a run is fully determined by its inputs and seeds: the
-// cycle-accurate tables in EXPERIMENTS.md are diffed against the paper and
-// checkpoint/restart relies on replaying identical job results. Three
-// sources of hidden nondeterminism are banned inside those packages:
+// internal/cellrt), the master-worker runtime (internal/mw) and the fault
+// injector (internal/fault) promise that a run is fully determined by its
+// inputs and seeds: the cycle-accurate tables in EXPERIMENTS.md are diffed
+// against the paper, checkpoint/restart relies on replaying identical job
+// results, and chaos campaigns must inject the same faults on every replay.
+// Three sources of hidden nondeterminism are banned inside those packages:
 //
 //   - wall-clock access (time.Now/Since/Until, timers, sleeps): simulated
 //     time comes from sim.Engine.Now; anything else leaks host scheduling
@@ -28,7 +29,8 @@ var SimDeterminism = &Analyzer{
 	Doc:  "forbid wall-clock, global math/rand and map-order dependence in the simulator packages",
 	Match: func(pkgPath string) bool {
 		return pathHasAny(pkgPath,
-			"internal/sim", "internal/cell", "internal/cellrt", "internal/mw")
+			"internal/sim", "internal/cell", "internal/cellrt", "internal/mw",
+			"internal/fault")
 	},
 	Run: runSimDeterminism,
 }

@@ -1,0 +1,100 @@
+package mw
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadCheckpoint throws arbitrary bytes at both checkpoint loaders. The
+// contract under fuzzing:
+//
+//   - neither loader may panic, whatever the input;
+//   - LoadCheckpoint either errors (file-level damage) or returns a
+//     sanitized set: no duplicate jobs, every error-free entry passing
+//     ValidateResult;
+//   - RecoverCheckpoint never errors on parseable-or-not content (only real
+//     I/O can fail): it either returns the same sanitized set or reports
+//     recovery, in which case the damaged file has been renamed aside.
+func FuzzLoadCheckpoint(f *testing.F) {
+	seeds := []string{
+		``,
+		`{not json`,
+		`null`,
+		`42`,
+		`{"version":1,"done":[]}`,
+		`{"version":99,"done":[]}`,
+		`{"version":1,"done":null}`,
+		`{"version":1}`,
+		`{"version":1,"done":[{"kind":0,"index":0,"seed":7,"newick":"(a:0.1,b:0.2,(c:0.1,d:0.3):0.05);","logl":-12.5,"alpha":0.8,"meter":{}}]}`,
+		// Duplicate jobs, one valid and one failed.
+		`{"version":1,"done":[{"kind":0,"index":0,"seed":7,"newick":"(a:0.1,b:0.2,(c:0.1,d:0.3):0.05);","logl":-12.5,"alpha":0.8,"meter":{}},{"kind":0,"index":0,"seed":7,"err":"boom"}]}`,
+		// Torn newick and sign-flipped alpha.
+		`{"version":1,"done":[{"kind":1,"index":2,"seed":9,"newick":"(a:0.1,(b:0.2","logl":-3,"alpha":0.8,"meter":{}}]}`,
+		`{"version":1,"done":[{"kind":1,"index":2,"seed":9,"newick":"(a:0.1,b:0.2,(c:0.1,d:0.3):0.05);","logl":-3,"alpha":-1,"meter":{}}]}`,
+		// Out-of-range numbers and odd types.
+		`{"version":1,"done":[{"kind":0,"index":0,"seed":0,"logl":1e999}]}`,
+		`{"version":1,"done":[{"kind":"inference"}]}`,
+		`{"version":1,"done":[{"logl":null,"alpha":null}]}`,
+		// Truncations of a realistic file.
+		`{"version":1,"done":[{"kind":0,"index":0,"seed":7,"newick":"(a:0.1,b:0.2,(c`,
+		`{"version":1,"done":[{"ki`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		strict := filepath.Join(dir, "strict.json")
+		lenient := filepath.Join(dir, "lenient.json")
+		if err := os.WriteFile(strict, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(lenient, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		checkSanitized := func(results []JobResult) {
+			seen := map[Job]bool{}
+			for i := range results {
+				r := results[i]
+				if seen[r.Job] {
+					t.Errorf("duplicate job %+v survived loading", r.Job)
+				}
+				seen[r.Job] = true
+				if r.Err == nil {
+					if verr := ValidateResult(&r); verr != nil {
+						t.Errorf("loader passed through invalid entry %+v: %v", r.Job, verr)
+					}
+				}
+			}
+		}
+
+		res, err := LoadCheckpoint(strict)
+		if err == nil {
+			checkSanitized(res)
+		}
+
+		res2, recovered, rerr := RecoverCheckpoint(lenient)
+		if rerr != nil {
+			t.Fatalf("RecoverCheckpoint failed on in-memory damage: %v", rerr)
+		}
+		if recovered != (err != nil) {
+			t.Errorf("recovered=%v inconsistent with strict loader error %v", recovered, err)
+		}
+		if recovered {
+			if res2 != nil {
+				t.Error("recovered load returned results")
+			}
+			if _, serr := os.Stat(lenient + ".corrupt"); serr != nil {
+				t.Errorf("damaged file not set aside: %v", serr)
+			}
+			if _, serr := os.Stat(lenient); !os.IsNotExist(serr) {
+				t.Error("damaged file still in place after recovery")
+			}
+		} else {
+			checkSanitized(res2)
+		}
+	})
+}

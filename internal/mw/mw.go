@@ -11,10 +11,9 @@ package mw
 import (
 	"fmt"
 	"math/rand"
-	"sort"
-	"sync"
 
 	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/fault"
 	"raxmlcell/internal/likelihood"
 	"raxmlcell/internal/model"
 	"raxmlcell/internal/search"
@@ -61,6 +60,23 @@ type Config struct {
 	StartTree string // starting-tree kind (see search.StartingTree)
 	Search    search.Options
 	Kernel    likelihood.Config
+
+	// Retry is the supervision policy: per-attempt deadlines, retry
+	// budget, backoff, and quarantine limit. The zero value keeps the
+	// legacy semantics — one attempt per job, no deadline, failures
+	// recorded in the result rather than aborting the campaign.
+	Retry RetryPolicy
+
+	// Fault, when non-nil, injects deterministic faults into job attempts
+	// and checkpoint writes. Chaos testing only; production runs leave it
+	// nil.
+	Fault *fault.Injector
+
+	// Clock supplies the time source for deadlines, backoff sleeps and
+	// slow-down faults. The simdeterminism invariant bars this package
+	// from the wall clock, so production entry points inject
+	// wallclock.Clock; a nil Clock disables deadlines and backoff.
+	Clock fault.Clock
 }
 
 // Plan builds the standard job list of a full analysis: nInf multiple
@@ -79,45 +95,15 @@ func Plan(nInf, nBoot int, baseSeed int64) []Job {
 
 // Run executes the jobs over the worker pool and returns results ordered by
 // (kind, index). A job error is recorded in its result; Run only fails on
-// configuration errors.
+// configuration errors or a quarantine-limit breach (see RetryPolicy). It
+// is the thin results-only view over Supervise; callers that need the
+// attempt/retry/quarantine accounting should call Supervise directly.
 func Run(pat *alignment.Patterns, mod *model.Model, jobs []Job, cfg Config) ([]JobResult, error) {
-	if pat == nil || mod == nil {
-		return nil, fmt.Errorf("mw: nil patterns or model")
+	rep, err := Supervise(pat, mod, jobs, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = 1
-	}
-	jobCh := make(chan Job)
-	resCh := make(chan JobResult, len(jobs))
-
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for job := range jobCh {
-				resCh <- runJob(pat, mod, job, cfg)
-			}
-		}()
-	}
-	for _, j := range jobs {
-		jobCh <- j
-	}
-	close(jobCh)
-	wg.Wait()
-	close(resCh)
-
-	results := make([]JobResult, 0, len(jobs))
-	for r := range resCh {
-		results = append(results, r)
-	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Job.Kind != results[j].Job.Kind {
-			return results[i].Job.Kind < results[j].Job.Kind
-		}
-		return results[i].Job.Index < results[j].Job.Index
-	})
-	return results, nil
+	return rep.Results, nil
 }
 
 // runJob executes one search end to end; it owns a private engine, RNG and

@@ -1,0 +1,373 @@
+package mw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/fault"
+	"raxmlcell/internal/model"
+	"raxmlcell/internal/phylotree"
+)
+
+// RetryPolicy is the supervision policy of a campaign: how often a job is
+// attempted, how long an attempt may run, and how many permanently failed
+// jobs the campaign tolerates. The zero value reproduces the legacy
+// semantics — one attempt per job, no deadline, no quarantine limit.
+type RetryPolicy struct {
+	// MaxAttempts is the attempt budget per job before it is quarantined;
+	// values below 1 mean 1 (no retries). Jobs are pure functions of their
+	// seed, so a retry reproduces exactly the result the failed attempt
+	// would have produced.
+	MaxAttempts int
+	// JobTimeout is the per-attempt deadline; an attempt that exceeds it
+	// is abandoned and counted as a failure (hung-worker detection). Zero
+	// disables deadlines. Requires Config.Clock.
+	JobTimeout time.Duration
+	// Backoff is the base delay before the second attempt of a job; it
+	// doubles per subsequent attempt with deterministic jitter in
+	// [0.5,1.5) drawn from the job seed. Zero disables backoff.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth; zero means uncapped.
+	MaxBackoff time.Duration
+	// LimitQuarantine enables the quarantine budget: once more than
+	// MaxQuarantine jobs are quarantined, the campaign is cancelled and
+	// Supervise returns an error wrapping ErrCampaignAborted. When false
+	// (the zero value), any number of quarantined jobs is tolerated and
+	// the campaign always completes with a partial-results report.
+	LimitQuarantine bool
+	// MaxQuarantine is the number of quarantined jobs tolerated when
+	// LimitQuarantine is set; 0 aborts on the first quarantined job.
+	MaxQuarantine int
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Quarantine records a job that exhausted its attempt budget without
+// producing a valid result.
+type Quarantine struct {
+	Job      Job
+	Attempts int
+	Err      error // the last attempt's failure
+}
+
+// Stats aggregates supervision counters across a campaign.
+type Stats struct {
+	Attempts       int // job attempts started
+	Retries        int // attempts beyond each job's first
+	Timeouts       int // attempts abandoned at their deadline
+	FaultsInjected int // injected job faults encountered (chaos runs)
+
+	CheckpointFailures  int  // checkpoint writes that failed and were deferred
+	CheckpointRecovered bool // a damaged checkpoint file was set aside on load
+}
+
+// Report is the full outcome of a supervised campaign. Results holds every
+// job that reached a final state, in (kind, index) order; quarantined jobs
+// appear both in Results (with Err set to their last failure) and in
+// Quarantined.
+type Report struct {
+	Results     []JobResult
+	Quarantined []Quarantine
+	Stats       Stats
+}
+
+var (
+	// ErrTimeout marks an attempt abandoned at its per-job deadline.
+	ErrTimeout = errors.New("mw: attempt deadline exceeded")
+	// ErrCampaignAborted marks a campaign cancelled because the
+	// quarantine limit was breached.
+	ErrCampaignAborted = errors.New("mw: quarantine limit breached")
+	// ErrInvalidResult marks a completed job whose payload failed
+	// validation (unparseable tree or non-finite fitted numbers).
+	ErrInvalidResult = errors.New("mw: result failed validation")
+)
+
+// ValidateResult checks the integrity of a completed job payload: the tree
+// must parse as Newick and the fitted numbers must be finite. Supervision
+// treats a validation failure like any other attempt failure, so a
+// corrupted result is retried and, if it keeps failing, quarantined.
+func ValidateResult(r *JobResult) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if _, err := phylotree.ParseNewick(r.Newick); err != nil {
+		return fmt.Errorf("%w: %v job %d: corrupt newick: %v", ErrInvalidResult, r.Job.Kind, r.Job.Index, err)
+	}
+	if math.IsNaN(r.LogL) || math.IsInf(r.LogL, 0) {
+		return fmt.Errorf("%w: %v job %d: non-finite log-likelihood %v", ErrInvalidResult, r.Job.Kind, r.Job.Index, r.LogL)
+	}
+	if math.IsNaN(r.Alpha) || math.IsInf(r.Alpha, 0) || r.Alpha <= 0 {
+		return fmt.Errorf("%w: %v job %d: invalid alpha %v", ErrInvalidResult, r.Job.Kind, r.Job.Index, r.Alpha)
+	}
+	return nil
+}
+
+// backoffDelay is the deterministic pre-attempt delay: exponential doubling
+// from the policy's base with jitter in [0.5,1.5) drawn from the job seed,
+// capped at MaxBackoff. attempt is the attempt about to start (>= 2).
+func backoffDelay(p RetryPolicy, jobSeed int64, attempt int) time.Duration {
+	if p.Backoff <= 0 || attempt <= 1 {
+		return 0
+	}
+	exp := attempt - 2
+	if exp > 20 {
+		exp = 20 // 2^20 x base; past this any realistic cap has applied
+	}
+	d := p.Backoff << uint(exp)
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return time.Duration(float64(d) * (0.5 + fault.Jitter(jobSeed, attempt)))
+}
+
+// outcome is the final state of one job after supervision.
+type outcome struct {
+	result      JobResult
+	attempts    int
+	quarantined bool
+}
+
+// supervisor owns the shared state of one campaign.
+type supervisor struct {
+	pat *alignment.Patterns
+	mod *model.Model
+	cfg Config
+
+	mu          sync.Mutex
+	stats       Stats
+	quarantined []Quarantine
+
+	stop     chan struct{} // closed when the quarantine limit is breached
+	stopOnce sync.Once
+}
+
+func (s *supervisor) abort() { s.stopOnce.Do(func() { close(s.stop) }) }
+
+func (s *supervisor) stopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *supervisor) note(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+func (s *supervisor) noteQuarantine(q Quarantine) {
+	s.mu.Lock()
+	s.quarantined = append(s.quarantined, q)
+	n := len(s.quarantined)
+	s.mu.Unlock()
+	if s.cfg.Retry.LimitQuarantine && n > s.cfg.Retry.MaxQuarantine {
+		s.abort()
+	}
+}
+
+// Supervise executes the jobs under the configured retry policy (and fault
+// plan, if any) and returns the full campaign report. Unless the quarantine
+// limit is breached, Supervise succeeds even when jobs fail permanently:
+// the report then carries partial results plus the quarantine list. On a
+// limit breach it cancels outstanding work and returns the partial report
+// together with an error wrapping ErrCampaignAborted.
+func Supervise(pat *alignment.Patterns, mod *model.Model, jobs []Job, cfg Config) (*Report, error) {
+	return supervise(pat, mod, jobs, cfg, nil)
+}
+
+// supervise is the shared campaign loop. onOutcome, when non-nil, runs in
+// the collector goroutine after each job reaches a final state — the hook
+// checkpointing uses to persist serially.
+func supervise(pat *alignment.Patterns, mod *model.Model, jobs []Job, cfg Config, onOutcome func(*outcome)) (*Report, error) {
+	if pat == nil || mod == nil {
+		return nil, fmt.Errorf("mw: nil patterns or model")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	s := &supervisor{pat: pat, mod: mod, cfg: cfg, stop: make(chan struct{})}
+
+	jobCh := make(chan Job)
+	outCh := make(chan outcome, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				outCh <- s.superviseJob(job)
+			}
+		}()
+	}
+	go func() {
+		defer close(jobCh)
+		for _, j := range jobs {
+			select {
+			case jobCh <- j:
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(outCh)
+	}()
+
+	rep := &Report{}
+	for o := range outCh {
+		rep.Results = append(rep.Results, o.result)
+		if onOutcome != nil {
+			onOutcome(&o)
+		}
+	}
+
+	sortResults(rep.Results)
+	s.mu.Lock()
+	rep.Stats = s.stats
+	rep.Quarantined = append([]Quarantine(nil), s.quarantined...)
+	s.mu.Unlock()
+	sort.Slice(rep.Quarantined, func(i, j int) bool {
+		a, b := rep.Quarantined[i].Job, rep.Quarantined[j].Job
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Index < b.Index
+	})
+	if p := cfg.Retry; p.LimitQuarantine && len(rep.Quarantined) > p.MaxQuarantine {
+		return rep, fmt.Errorf("%w: %d jobs quarantined, limit %d; first: %v",
+			ErrCampaignAborted, len(rep.Quarantined), p.MaxQuarantine, rep.Quarantined[0].Err)
+	}
+	return rep, nil
+}
+
+// superviseJob drives one job through its attempt budget: backoff, deadline
+// enforcement, result validation, and finally success or quarantine.
+func (s *supervisor) superviseJob(job Job) outcome {
+	budget := s.cfg.Retry.maxAttempts()
+	var last JobResult
+	for attempt := 1; attempt <= budget; attempt++ {
+		if s.stopped() {
+			if last.Err == nil {
+				last = JobResult{Job: job, Err: ErrCampaignAborted}
+			}
+			return outcome{result: last, attempts: attempt - 1}
+		}
+		if attempt > 1 {
+			s.note(func(st *Stats) { st.Retries++ })
+			if d := backoffDelay(s.cfg.Retry, job.Seed, attempt); d > 0 && s.cfg.Clock != nil {
+				s.cfg.Clock.Sleep(d)
+			}
+		}
+		s.note(func(st *Stats) { st.Attempts++ })
+		r, timedOut := s.attemptOnce(job, attempt)
+		if timedOut {
+			s.note(func(st *Stats) { st.Timeouts++ })
+		}
+		if r.Err == nil {
+			if verr := ValidateResult(&r); verr != nil {
+				r.Err = verr
+			} else {
+				return outcome{result: r, attempts: attempt}
+			}
+		}
+		last = r
+	}
+	s.noteQuarantine(Quarantine{Job: job, Attempts: budget, Err: last.Err})
+	return outcome{result: last, attempts: budget, quarantined: true}
+}
+
+// attemptOnce runs a single attempt, arming the per-job deadline when one
+// is configured. The second return value reports a deadline expiry.
+func (s *supervisor) attemptOnce(job Job, attempt int) (JobResult, bool) {
+	var dec fault.Decision
+	if s.cfg.Fault != nil {
+		dec = s.cfg.Fault.JobAttempt(job.Seed, attempt)
+		if dec.Kind != fault.None {
+			s.note(func(st *Stats) { st.FaultsInjected++ })
+		}
+	}
+	timeout := s.cfg.Retry.JobTimeout
+	if timeout <= 0 || s.cfg.Clock == nil {
+		return s.execute(job, attempt, dec, nil), false
+	}
+	done := make(chan JobResult, 1) // buffered: an abandoned attempt still exits
+	kill := make(chan struct{})
+	go func() { done <- s.execute(job, attempt, dec, kill) }()
+	select {
+	case r := <-done:
+		return r, false
+	case <-s.cfg.Clock.After(timeout):
+		close(kill)
+		return JobResult{Job: job, Err: fmt.Errorf("%w: %v job %d attempt %d exceeded %v",
+			ErrTimeout, job.Kind, job.Index, attempt, timeout)}, true
+	case <-s.stop:
+		close(kill)
+		return JobResult{Job: job, Err: ErrCampaignAborted}, false
+	}
+}
+
+// execute runs one attempt end to end, applying the injected fault. kill is
+// non-nil only when a deadline is armed; a Hang fault blocks on it so the
+// goroutine exits once the supervisor abandons the attempt.
+func (s *supervisor) execute(job Job, attempt int, dec fault.Decision, kill <-chan struct{}) JobResult {
+	switch dec.Kind {
+	case fault.Crash:
+		return JobResult{Job: job, Err: fmt.Errorf("worker crash on %v job %d attempt %d: %w",
+			job.Kind, job.Index, attempt, fault.ErrInjected)}
+	case fault.Hang:
+		if kill == nil {
+			// No deadline armed: an indefinite block would wedge the
+			// worker forever, so the hang degrades to an immediate crash.
+			return JobResult{Job: job, Err: fmt.Errorf("worker hang (no deadline armed) on %v job %d attempt %d: %w",
+				job.Kind, job.Index, attempt, fault.ErrInjected)}
+		}
+		<-kill
+		return JobResult{Job: job, Err: fmt.Errorf("worker hung on %v job %d attempt %d: %w",
+			job.Kind, job.Index, attempt, fault.ErrInjected)}
+	case fault.SlowDown:
+		if s.cfg.Clock != nil && dec.Delay > 0 {
+			s.cfg.Clock.Sleep(dec.Delay)
+		}
+	}
+	r := runJob(s.pat, s.mod, job, s.cfg)
+	if dec.Kind == fault.Corrupt && r.Err == nil {
+		corruptResult(&r, dec.Coin)
+	}
+	return r
+}
+
+// corruptResult deterministically mangles a completed result the way a
+// flaky worker or torn transfer would: an unparseable tree or a non-finite
+// likelihood. ValidateResult must catch either flavour.
+func corruptResult(r *JobResult, coin uint64) {
+	if coin%2 == 0 {
+		r.Newick = r.Newick[:len(r.Newick)/2] + "(" // torn mid-transfer, unbalanced
+	} else {
+		r.LogL = math.NaN()
+	}
+}
+
+// sortResults orders results by (kind, index) — the stable order every
+// public API returns.
+func sortResults(results []JobResult) {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Job.Kind != results[j].Job.Kind {
+			return results[i].Job.Kind < results[j].Job.Kind
+		}
+		return results[i].Job.Index < results[j].Job.Index
+	})
+}

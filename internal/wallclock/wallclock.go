@@ -1,0 +1,25 @@
+// Package wallclock provides the real-time implementation of fault.Clock.
+//
+// It is a separate package on purpose: the raxmlvet simdeterminism analyzer
+// bars internal/mw and internal/fault from touching the wall clock, so the
+// supervision layer only ever sees an injected Clock. Production entry
+// points (cmd/raxml, internal/core) inject Clock{} here; deterministic
+// tests inject their own.
+package wallclock
+
+import (
+	"time"
+
+	"raxmlcell/internal/fault"
+)
+
+// Clock is the wall-clock fault.Clock.
+type Clock struct{}
+
+var _ fault.Clock = Clock{}
+
+// After returns a channel that receives after d of real time.
+func (Clock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep blocks for d of real time.
+func (Clock) Sleep(d time.Duration) { time.Sleep(d) }

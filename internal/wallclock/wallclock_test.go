@@ -1,0 +1,20 @@
+package wallclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClock(t *testing.T) {
+	c := Clock{}
+	start := time.Now()
+	c.Sleep(2 * time.Millisecond)
+	if time.Since(start) < 2*time.Millisecond {
+		t.Error("Sleep returned early")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("After never fired")
+	}
+}
