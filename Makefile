@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race bench chaos fuzz lint raxmlvet fmt clean
+.PHONY: build test race bench chaos fuzz lint raxmlvet trace fmt clean
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,16 @@ lint: raxmlvet
 raxmlvet:
 	@mkdir -p $(BIN)
 	$(GO) build -o $(BIN)/raxmlvet ./cmd/raxmlvet
+
+# trace runs a small simulated MGPS campaign and writes its timeline as
+# Chrome trace-event JSON (open in Perfetto or chrome://tracing). cellsim
+# schema-validates the file before writing it; the same invocation runs in
+# CI and uploads the trace as a build artifact. Byte-determinism of this
+# file is pinned by the golden tests in internal/obs.
+trace:
+	@mkdir -p $(BIN)
+	$(GO) run ./cmd/cellsim -stage all-offloaded -scheduler mgps \
+		-bootstraps 8 -episodes 40 -trace $(BIN)/trace.json
 
 fmt:
 	gofmt -w .

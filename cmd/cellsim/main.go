@@ -7,11 +7,14 @@
 //
 //	cellsim -stage all-offloaded -scheduler mgps -bootstraps 16
 //	cellsim -stage naive-offload -workers 2 -bootstraps 8
-//	cellsim -trace data.phy -stage all-offloaded   # drive the simulator
-//	                                               # from a real Go search
+//	cellsim -workload-from data.phy -stage all-offloaded  # drive the simulator
+//	                                                      # from a real Go search
+//	cellsim -scheduler mgps -bootstraps 8 -trace out.json # record the timeline
+//	                                                      # (open in Perfetto)
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +25,7 @@ import (
 	"raxmlcell/internal/cell"
 	"raxmlcell/internal/cellrt"
 	"raxmlcell/internal/core"
+	"raxmlcell/internal/obs"
 	"raxmlcell/internal/search"
 	"raxmlcell/internal/workload"
 )
@@ -53,7 +57,9 @@ func main() {
 		schedName = flag.String("scheduler", "naive", "scheduler: "+names(schedByName))
 		workers   = flag.Int("workers", 1, "MPI processes (MGPS sizes itself)")
 		boots     = flag.Int("bootstraps", 1, "number of tree searches")
-		trace     = flag.String("trace", "", "derive the workload from a real search over this alignment instead of the 42_SC paper profile")
+		episodes  = flag.Int("episodes", 0, "scheduling quanta per search (0 = default 150)")
+		wlFrom    = flag.String("workload-from", "", "derive the workload from a real search over this alignment instead of the 42_SC paper profile (was -trace before the timeline tracer took that name)")
+		traceOut  = flag.String("trace", "", "write the simulated timeline as Chrome trace-event JSON to this file (open in Perfetto or chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -67,8 +73,8 @@ func main() {
 	}
 
 	prof := workload.Profile42SC()
-	if *trace != "" {
-		f, err := os.Open(*trace)
+	if *wlFrom != "" {
+		f, err := os.Open(*wlFrom)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -85,20 +91,46 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		prof, err = workload.FromMeter(*trace, meter, pat.NumPatterns())
+		prof, err = workload.FromMeter(*wlFrom, meter, pat.NumPatterns())
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	rep, err := cellrt.Run(prof, cell.DefaultCostModel(), cell.DefaultParams(), cellrt.Config{
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	cfg := cellrt.Config{
 		Stage:     stage,
 		Scheduler: sched,
 		Workers:   *workers,
 		Searches:  *boots,
-	})
+		Episodes:  *episodes,
+	}
+	if tracer != nil {
+		cfg.Tracer = tracer
+	}
+	rep, err := cellrt.Run(prof, cell.DefaultCostModel(), cell.DefaultParams(), cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if tracer != nil {
+		var buf bytes.Buffer
+		if err := tracer.WriteJSON(&buf); err != nil {
+			log.Fatal(err)
+		}
+		// Gate the file on the trace-event schema check, so a malformed
+		// trace fails the run instead of surfacing later in a viewer.
+		n, err := obs.ValidateTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*traceOut, buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline: %d events written to %s (schema ok)\n", n, *traceOut)
 	}
 
 	fmt.Printf("workload %s: %d search(es), stage %v, scheduler %v, %d worker(s)\n",

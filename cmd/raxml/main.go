@@ -7,12 +7,17 @@
 // Usage:
 //
 //	raxml -in data.phy -inferences 3 -bootstraps 20 -workers 4 -out best.nwk
+//
+// Observability: -v raises logging to Debug (per-job lifecycle and search
+// trajectories), -quiet lowers it to warnings only, and -debug-addr starts
+// an HTTP server exposing net/http/pprof under /debug/pprof/ plus a
+// /metrics JSON snapshot of the live supervision counters and kernel meter.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -20,14 +25,18 @@ import (
 	"raxmlcell/internal/alignment"
 	"raxmlcell/internal/core"
 	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/obs"
 	"raxmlcell/internal/phylotree"
 	"raxmlcell/internal/search"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("raxml: ")
+// fatal logs the error through the structured logger and exits non-zero.
+func fatal(log *slog.Logger, err error) {
+	log.Error("fatal", "error", err)
+	os.Exit(1)
+}
 
+func main() {
 	var (
 		in         = flag.String("in", "", "input alignment (PHYLIP or FASTA; required)")
 		inferences = flag.Int("inferences", 3, "number of independent tree searches")
@@ -51,7 +60,9 @@ func main() {
 		draw       = flag.Bool("draw", false, "print an ASCII rendering of the best tree")
 		treesOut   = flag.String("trees-out", "", "write all result trees (best + bootstraps) to this NEXUS file")
 		out        = flag.String("out", "", "write the best tree (Newick) to this file")
-		verbose    = flag.Bool("v", false, "per-job log lines")
+		verbose    = flag.Bool("v", false, "debug logging: per-job lifecycle, retries, search trajectories")
+		quiet      = flag.Bool("quiet", false, "log warnings and errors only")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof/ and /metrics on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -59,9 +70,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	logger := obs.NewLogger(os.Stderr, obs.Level(*verbose, *quiet))
+	metrics := obs.NewRegistry()
+
+	if *debugAddr != "" {
+		srv, addr, err := obs.StartDebugServer(*debugAddr, metrics)
+		if err != nil {
+			fatal(logger, err)
+		}
+		defer srv.Close()
+		logger.Info("debug server listening",
+			"pprof", fmt.Sprintf("http://%s/debug/pprof/", addr),
+			"metrics", fmt.Sprintf("http://%s/metrics", addr))
+	}
+
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 	var a *alignment.Alignment
 	switch {
@@ -74,7 +99,7 @@ func main() {
 	}
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 	pat := alignment.Compress(a)
 	fmt.Printf("alignment: %d taxa x %d sites (%d distinct patterns)\n",
@@ -96,11 +121,13 @@ func main() {
 			Radius: *radius, MaxRounds: *rounds,
 			SmoothPasses: 4, Epsilon: 0.01, AlphaOpt: true, ModelOpt: *optModel,
 		},
-		Kernel: likelihood.Config{SDKExp: *sdkExp, IntCond: *intCond, Incremental: *incr},
+		Kernel:  likelihood.Config{SDKExp: *sdkExp, IntCond: *intCond, Incremental: *incr},
+		Log:     logger,
+		Metrics: metrics,
 	}
 	analysis, err := core.Analyze(pat, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 
 	if *verbose {
@@ -154,7 +181,7 @@ func main() {
 		catCfg.Seed = *seed
 		res, catLL, _, err := core.InferCAT(pat, catCfg, *catCats)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		fmt.Printf("CAT-%d re-fit: logL=%.4f (Gamma search logL was %.4f)\n", *catCats, catLL, res.LogL)
 	}
@@ -171,7 +198,7 @@ func main() {
 			}
 			tr, err := phylotree.ParseNewick(r.Newick)
 			if err != nil {
-				log.Fatal(err)
+				fatal(logger, err)
 			}
 			trees = append(trees, phylotree.NamedTree{
 				Name: fmt.Sprintf("%v_%d", r.Job.Kind, r.Job.Index),
@@ -180,10 +207,10 @@ func main() {
 		}
 		tf, err := os.Create(*treesOut)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		if err := phylotree.WriteNexusTrees(tf, trees); err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		tf.Close()
 		fmt.Printf("%d trees written to %s\n", len(trees), *treesOut)
@@ -192,7 +219,7 @@ func main() {
 	newick := analysis.Best.Newick()
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(newick+"\n"), 0o644); err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		fmt.Printf("tree written to %s\n", *out)
 	} else {

@@ -56,6 +56,12 @@ type Config struct {
 	// stage's default) — for ablations across the Section 5.2.7
 	// progression.
 	Offload OffloadSet
+	// Tracer, when non-nil, records the run's timeline: engine-level
+	// process events plus the runtime's own spans — PPE phases, per-SPE
+	// compute and DMA-wait slices, signalling, job claims and MGPS SPE
+	// adoption. obs.Tracer exports it as Chrome trace-event JSON; the
+	// output is byte-deterministic for a given configuration.
+	Tracer sim.Tracer
 }
 
 // Report is the outcome of a simulated run.
@@ -100,6 +106,9 @@ func Run(prof workload.Profile, cm cell.CostModel, params cell.Params, cfg Confi
 	m, err := cell.New(params)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Tracer != nil {
+		m.Eng.SetTracer(cfg.Tracer)
 	}
 	sc := computeSearchCost(&prof, cfg.Stage, cm, cfg.Offload)
 	r := &runner{
@@ -210,6 +219,30 @@ func (r *runner) takeJob() bool {
 	return true
 }
 
+// trace shorthands; every call site must tolerate a nil tracer.
+
+func (r *runner) traceInstant(p *sim.Proc, name, cat string) {
+	if t := r.cfg.Tracer; t != nil {
+		t.Instant(p.Name, name, cat, p.Now())
+	}
+}
+
+func (r *runner) traceSpan(track, name, cat string, from, to sim.Time) {
+	if t := r.cfg.Tracer; t != nil {
+		t.Span(track, name, cat, from, to)
+	}
+}
+
+// traceJobs samples the depth of the shared job queue — the series that
+// makes the MGPS drain phase visible on the timeline.
+func (r *runner) traceJobs(p *sim.Proc) {
+	if t := r.cfg.Tracer; t != nil {
+		t.Counter("scheduler", "jobs-pending", p.Now(), float64(r.jobs))
+	}
+}
+
+func speTrack(id int) string { return fmt.Sprintf("spe%d", id) }
+
 // spawnStatic launches cfg.Workers processes with a fixed policy:
 // eventDriven selects busy-wait (naive) versus switch-on-offload (EDTLP);
 // k is the fixed LLP width (1 = pure task-level).
@@ -231,7 +264,12 @@ func (r *runner) spawnStatic(eventDriven bool, k int) {
 				defer r.m.PPE.Threads.Release(1)
 			}
 			for r.takeJob() {
+				job := r.cfg.Searches - r.jobs - 1
+				r.traceInstant(p, fmt.Sprintf("claim search#%d", job), "sched")
+				r.traceJobs(p)
+				start := p.Now()
 				r.runSearch(p, speSet, eventDriven)
+				r.traceSpan(p.Name, fmt.Sprintf("search#%d", job), "job", start, p.Now())
 			}
 		})
 	}
@@ -243,22 +281,32 @@ func (r *runner) runSearch(p *sim.Proc, speSet []int, eventDriven bool) {
 	offload := r.cfg.Stage.offloadedIn(workload.Newview, r.cfg.Offload)
 	for e := 0; e < r.cfg.Episodes; e++ {
 		if eventDriven {
+			t0 := p.Now()
 			r.m.PPE.Threads.Acquire(p, 1)
+			r.traceSpan(p.Name, "ppe-wait", "ppe", t0, p.Now())
+			t1 := p.Now()
 			p.Advance(sim.Time((r.switchPerEpisode() + ppeE + commE/2) * r.smtFactor()))
+			r.traceSpan(p.Name, "ppe", "ppe", t1, p.Now())
 			r.m.PPE.Threads.Release(1)
 		} else {
+			t0 := p.Now()
 			p.Advance(sim.Time(ppeE * r.smtFactor()))
+			r.traceSpan(p.Name, "ppe", "ppe", t0, p.Now())
 			if offload {
 				// Mailbox/MMIO signalling executes on the PPE and contends
 				// with the other SMT thread — which is why the paper finds
 				// the direct-communication optimization "scales with
 				// parallelism" (Section 5.2.6).
+				t1 := p.Now()
 				p.Advance(sim.Time(commE / 2 * r.smtFactor()))
+				r.traceSpan(p.Name, "signal", "comm", t1, p.Now())
 			}
 		}
 		if offload {
 			r.computeOnSPEs(p, speSet, serialE, parE, dmaE)
+			t2 := p.Now()
 			p.Advance(sim.Time(commE / 2 * r.smtFactor()))
+			r.traceSpan(p.Name, "signal", "comm", t2, p.Now())
 		}
 	}
 }
@@ -273,7 +321,10 @@ func (r *runner) computeOnSPEs(p *sim.Proc, speSet []int, serial, parallel, dma 
 	share := parallel / float64(k)
 	barrier := r.cm.LLPBarrier * float64(k-1)
 	primary := r.speLocks[speSet[0]]
+	t0 := p.Now()
 	primary.Acquire(p, 1)
+	start := p.Now()
+	r.traceSpan(p.Name, "spe-wait", "sched", t0, start)
 	// Busy-time accounting on every participating SPE.
 	for i, id := range speSet {
 		c := share
@@ -281,8 +332,15 @@ func (r *runner) computeOnSPEs(p *sim.Proc, speSet []int, serial, parallel, dma 
 			c += serial + dma
 		}
 		r.m.SPEs[id].AddBusy(sim.Time(c))
+		if dma > 0 && i == 0 {
+			// The primary SPE stalls on strip-mining DMA before computing
+			// (zero when the stage double-buffers).
+			r.traceSpan(speTrack(id), "dma-wait", "dma", start, start+sim.Time(dma))
+		}
+		r.traceSpan(speTrack(id), "compute", "spe", start, start+sim.Time(c))
 	}
 	p.Advance(sim.Time(serial + dma + share + barrier))
+	r.traceSpan(p.Name, "offload", "spe", start, p.Now())
 	primary.Release(1)
 }
 
@@ -298,11 +356,17 @@ func (r *runner) spawnMGPS() {
 				if !r.takeJob() {
 					// Donate SPEs to workers that still have work.
 					r.idleSPEs = append(r.idleSPEs, mySPEs...)
+					r.traceInstant(p, fmt.Sprintf("donate %d spe(s)", len(mySPEs)), "sched")
 					return
 				}
+				job := r.cfg.Searches - r.jobs - 1
+				r.traceInstant(p, fmt.Sprintf("claim search#%d", job), "sched")
+				r.traceJobs(p)
+				start := p.Now()
 				r.active++
 				r.runSearchMGPS(p, &mySPEs)
 				r.active--
+				r.traceSpan(p.Name, fmt.Sprintf("search#%d", job), "job", start, p.Now())
 			}
 		})
 	}
@@ -313,13 +377,19 @@ func (r *runner) runSearchMGPS(p *sim.Proc, mySPEs *[]int) {
 	offload := r.cfg.Stage.offloadedIn(workload.Newview, r.cfg.Offload)
 	for e := 0; e < r.cfg.Episodes; e++ {
 		// Adopt idle SPEs up to a fair share of the machine.
-		r.adoptSPEs(mySPEs)
+		r.adoptSPEs(p, mySPEs)
+		t0 := p.Now()
 		r.m.PPE.Threads.Acquire(p, 1)
+		r.traceSpan(p.Name, "ppe-wait", "ppe", t0, p.Now())
+		t1 := p.Now()
 		p.Advance(sim.Time((r.switchPerEpisode() + ppeE + commE/2) * r.smtFactor()))
+		r.traceSpan(p.Name, "ppe", "ppe", t1, p.Now())
 		r.m.PPE.Threads.Release(1)
 		if offload {
 			r.computeOnSPEs(p, *mySPEs, serialE, parE, dmaE)
+			t2 := p.Now()
 			p.Advance(sim.Time(commE / 2))
+			r.traceSpan(p.Name, "signal", "comm", t2, p.Now())
 		} else {
 			// PPE-only stage under MGPS degenerates to EDTLP timeslicing.
 			continue
@@ -327,7 +397,7 @@ func (r *runner) runSearchMGPS(p *sim.Proc, mySPEs *[]int) {
 	}
 }
 
-func (r *runner) adoptSPEs(mySPEs *[]int) {
+func (r *runner) adoptSPEs(p *sim.Proc, mySPEs *[]int) {
 	if len(r.idleSPEs) == 0 {
 		return
 	}
@@ -342,6 +412,7 @@ func (r *runner) adoptSPEs(mySPEs *[]int) {
 	for len(*mySPEs) < fair && len(r.idleSPEs) > 0 {
 		n := len(r.idleSPEs) - 1
 		*mySPEs = append(*mySPEs, r.idleSPEs[n])
+		r.traceInstant(p, fmt.Sprintf("adopt spe%d", r.idleSPEs[n]), "sched")
 		r.idleSPEs = r.idleSPEs[:n]
 	}
 }

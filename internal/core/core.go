@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"raxmlcell/internal/likelihood"
 	"raxmlcell/internal/model"
 	"raxmlcell/internal/mw"
+	"raxmlcell/internal/obs"
 	"raxmlcell/internal/phylotree"
 	"raxmlcell/internal/search"
 	"raxmlcell/internal/wallclock"
@@ -78,6 +80,16 @@ type Config struct {
 	// measured full-recomputation workload, so leave it off when feeding
 	// the aggregate meter to the Cell simulation tables.
 	Kernel likelihood.Config
+
+	// Log receives structured campaign progress (phases, supervision
+	// events, per-step search trajectories at Debug). nil disables
+	// logging.
+	Log *slog.Logger
+
+	// Metrics, when non-nil, is fed live during the analysis — the mw.*
+	// supervision counters, kernel.* meter totals and search.* trajectory
+	// series the -debug-addr /metrics endpoint serves.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig is a publishable-analysis shape at laptop scale.
@@ -153,8 +165,26 @@ func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
 			Backoff:     200 * time.Millisecond,
 			MaxBackoff:  5 * time.Second,
 		},
-		Fault: cfg.Fault,
-		Clock: cfg.Clock,
+		Fault:   cfg.Fault,
+		Clock:   cfg.Clock,
+		Log:     cfg.Log,
+		Metrics: cfg.Metrics,
+	}
+	if cfg.Log == nil {
+		cfg.Log = obs.Discard()
+	}
+	if cfg.Metrics != nil || cfg.Log.Enabled(nil, slog.LevelDebug) {
+		log, reg := cfg.Log, cfg.Metrics
+		mwCfg.OnProgress = func(job mw.Job, pr search.Progress) {
+			if reg != nil {
+				reg.Counter("search.progress_events").Inc()
+				reg.Gauge(obs.Key("search.logl", "kind", job.Kind.String(),
+					"index", fmt.Sprint(job.Index))).Set(pr.LogL)
+			}
+			log.Debug("search progress", "kind", job.Kind.String(), "index", job.Index,
+				"phase", pr.Phase, "round", pr.Round, "moves", pr.Moves,
+				"logl", pr.LogL, "alpha", pr.Alpha)
+		}
 	}
 	if cfg.MaxQuarantine >= 0 {
 		mwCfg.Retry.LimitQuarantine = true
@@ -163,6 +193,10 @@ func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
 	if mwCfg.Clock == nil {
 		mwCfg.Clock = wallclock.Clock{}
 	}
+	cfg.Log.Info("analysis start",
+		"taxa", pat.NumTaxa, "patterns", pat.NumPatterns(),
+		"inferences", cfg.Inferences, "bootstraps", cfg.Bootstraps,
+		"workers", cfg.Workers, "seed", cfg.Seed)
 	var rep *mw.Report
 	var err2 error
 	if cfg.Checkpoint != "" {
@@ -194,12 +228,15 @@ func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
 		Results:     results,
 		Quarantined: rep.Quarantined,
 		Stats:       rep.Stats,
+		// The supervisor already merged every successful job's kernel meter
+		// (including restored checkpoint jobs); reuse it so Analysis and the
+		// live /metrics kernel.* counters report the same totals.
+		Meter: rep.Meter,
 	}
-	for i := range results {
-		if results[i].Err == nil {
-			a.Meter.Add(&results[i].Meter)
-		}
-	}
+	cfg.Log.Info("campaign done",
+		"best_logl", best.LogL, "alpha", best.Alpha,
+		"attempts", rep.Stats.Attempts, "retries", rep.Stats.Retries,
+		"quarantined", len(rep.Quarantined))
 
 	if cfg.Bootstraps > 0 {
 		// Quarantined bootstraps are excluded: support values are computed

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"raxmlcell/internal/obs"
+)
+
+// TestAnalyzeLiveMetrics is the -debug-addr smoke test: while an analysis
+// runs with a registry attached, the debug server's /metrics and
+// /debug/pprof/ endpoints must answer, and after the run the snapshot must
+// agree with the Analysis — supervision counters and the merged kernel
+// meter.
+func TestAnalyzeLiveMetrics(t *testing.T) {
+	pat, _ := testPatterns(t, 8, 300, 7)
+	reg := obs.NewRegistry()
+	srv, addr, err := obs.StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Poll the endpoints from a goroutine racing the analysis, so the
+	// "during a live run" property is actually exercised.
+	stop := make(chan struct{})
+	polled := make(chan error, 1)
+	go func() {
+		defer close(polled)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, path := range []string{"/metrics", "/debug/pprof/"} {
+				resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+				if err != nil {
+					polled <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					polled <- fmt.Errorf("%s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}
+	}()
+
+	cfg := fastConfig()
+	cfg.Inferences, cfg.Bootstraps = 2, 3
+	cfg.Log = obs.Discard()
+	cfg.Metrics = reg
+	a, err := Analyze(pat, cfg)
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perr := <-polled; perr != nil {
+		t.Fatalf("debug endpoint failed during the run: %v", perr)
+	}
+
+	// The final /metrics payload must agree with the finished analysis.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := snap.CounterValue("mw.jobs_done"); v != uint64(len(a.Results)) {
+		t.Errorf("mw.jobs_done = %d, want %d", v, len(a.Results))
+	}
+	if v, _ := snap.CounterValue("kernel.newview_calls"); v != a.Meter.NewviewCalls {
+		t.Errorf("kernel.newview_calls = %d, Analysis.Meter says %d", v, a.Meter.NewviewCalls)
+	}
+	// The gauge tracks the best over all jobs (bootstraps included), so it
+	// is at least the best inference the analysis reports.
+	if v, ok := snap.GaugeValue("mw.best_logl"); !ok || v < a.BestLogL || v >= 0 {
+		t.Errorf("mw.best_logl = %v (%v), Analysis best inference %v", v, ok, a.BestLogL)
+	}
+	if v, _ := snap.CounterValue("search.progress_events"); v == 0 {
+		t.Error("no search progress events reached the registry")
+	}
+}
+
+// TestAnalysisMeterMatchesResults pins the satellite fix: Analysis.Meter is
+// the supervisor's merged meter and equals the per-result sum.
+func TestAnalysisMeterMatchesResults(t *testing.T) {
+	pat, _ := testPatterns(t, 8, 300, 7)
+	cfg := fastConfig()
+	cfg.Inferences, cfg.Bootstraps = 1, 2
+	a, err := Analyze(pat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nv, flops uint64
+	for _, r := range a.Results {
+		if r.Err == nil {
+			nv += r.Meter.NewviewCalls
+			flops += r.Meter.Flops()
+		}
+	}
+	if nv == 0 {
+		t.Fatal("results carry empty meters")
+	}
+	if a.Meter.NewviewCalls != nv || a.Meter.Flops() != flops {
+		t.Fatalf("Analysis.Meter (newview %d, flops %d) != summed results (newview %d, flops %d)",
+			a.Meter.NewviewCalls, a.Meter.Flops(), nv, flops)
+	}
+}

@@ -14,6 +14,13 @@ func TestSimDeterminismGolden(t *testing.T) {
 	linttest.Run(t, lint.SimDeterminism, "raxmlcell/internal/sim", "testdata/simdeterminism")
 }
 
+// The observability package is inside the widened simdeterminism scope: its
+// trace files and metrics snapshots are golden-tested byte for byte, so the
+// same bans apply.
+func TestSimDeterminismObsGolden(t *testing.T) {
+	linttest.Run(t, lint.SimDeterminism, "raxmlcell/internal/obs", "testdata/simdeterminism/obs")
+}
+
 func TestInvalidatePairGolden(t *testing.T) {
 	linttest.Run(t, lint.InvalidatePair, "raxmlcell/internal/search", "testdata/invalidatepair")
 }
@@ -62,6 +69,7 @@ func TestAnalyzerScopes(t *testing.T) {
 		{lint.SimDeterminism, "raxmlcell/internal/cellrt", true},
 		{lint.SimDeterminism, "raxmlcell/internal/mw", true},
 		{lint.SimDeterminism, "raxmlcell/internal/fault", true},
+		{lint.SimDeterminism, "raxmlcell/internal/obs", true},
 		{lint.SimDeterminism, "raxmlcell/internal/cellrt [raxmlcell/internal/cellrt.test]", true},
 		{lint.SimDeterminism, "raxmlcell/internal/likelihood", false},
 		{lint.SimDeterminism, "raxmlcell/internal/wallclock", false}, // the one sanctioned wall-clock impl

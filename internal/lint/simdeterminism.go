@@ -8,9 +8,10 @@ import (
 // SimDeterminism enforces the simulator's bit-determinism contract.
 //
 // The discrete-event Cell simulator (internal/sim, internal/cell,
-// internal/cellrt), the master-worker runtime (internal/mw) and the fault
-// injector (internal/fault) promise that a run is fully determined by its
-// inputs and seeds: the cycle-accurate tables in EXPERIMENTS.md are diffed
+// internal/cellrt), the master-worker runtime (internal/mw), the fault
+// injector (internal/fault) and the observability layer (internal/obs,
+// whose trace files and metrics snapshots are golden-tested byte for byte)
+// promise that a run is fully determined by its inputs and seeds: the cycle-accurate tables in EXPERIMENTS.md are diffed
 // against the paper, checkpoint/restart relies on replaying identical job
 // results, and chaos campaigns must inject the same faults on every replay.
 // Three sources of hidden nondeterminism are banned inside those packages:
@@ -30,7 +31,7 @@ var SimDeterminism = &Analyzer{
 	Match: func(pkgPath string) bool {
 		return pathHasAny(pkgPath,
 			"internal/sim", "internal/cell", "internal/cellrt", "internal/mw",
-			"internal/fault")
+			"internal/fault", "internal/obs")
 	},
 	Run: runSimDeterminism,
 }

@@ -1,0 +1,53 @@
+// Golden input for the widened simdeterminism scope: this file pretends to
+// live in raxmlcell/internal/obs, where the same determinism contract holds —
+// trace files and metrics snapshots are golden-tested byte for byte, so
+// wall-clock timestamps, global math/rand and map-order iteration are banned
+// exactly as in the simulator packages.
+package obs
+
+import (
+	"maps"
+	"math/rand"
+	"slices"
+	"time"
+)
+
+type tracer struct {
+	tids map[string]int
+}
+
+func (t *tracer) badWallClockTimestamp() int64 {
+	// A trace event stamped from the host clock differs between runs.
+	return time.Now().UnixNano() // want `wall-clock time.Now`
+}
+
+func (t *tracer) badSamplingJitter() bool {
+	// Sampling decisions from the global source reorder emitted events.
+	return rand.Float64() < 0.01 // want `global math/rand.Float64`
+}
+
+func (t *tracer) badSnapshotOrder() []string {
+	var tracks []string
+	for name := range t.tids { // want `map iteration order is randomized`
+		tracks = append(tracks, name)
+	}
+	return tracks
+}
+
+func (t *tracer) badMapsValuesOrder() []int {
+	var tids []int
+	for id := range maps.Values(t.tids) { // want `maps.Values iterates in randomized order`
+		tids = append(tids, id)
+	}
+	return tids
+}
+
+func (t *tracer) goodSnapshotOrder() []string {
+	// The sanctioned pattern: sort the keys, then iterate the slice.
+	return slices.Sorted(maps.Keys(t.tids))
+}
+
+func goodSeededSampling(seed int64) bool {
+	rng := rand.New(rand.NewSource(seed)) // explicitly seeded: allowed
+	return rng.Float64() < 0.01
+}

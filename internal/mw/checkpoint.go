@@ -10,6 +10,7 @@ import (
 	"raxmlcell/internal/fault"
 	"raxmlcell/internal/likelihood"
 	"raxmlcell/internal/model"
+	"raxmlcell/internal/obs"
 )
 
 // checkpointVersion guards the on-disk format.
@@ -170,6 +171,7 @@ func saveCheckpoint(path string, done []JobResult) error {
 type checkpointer struct {
 	path     string
 	inj      *fault.Injector
+	cfg      *Config // for Log/Metrics; never nil once constructed
 	done     []JobResult
 	idx      map[Job]int
 	writes   int // save ordinals, for deterministic fault decisions
@@ -177,13 +179,23 @@ type checkpointer struct {
 	dirty    bool
 }
 
-func newCheckpointer(path string, inj *fault.Injector, restored []JobResult) *checkpointer {
-	c := &checkpointer{path: path, inj: inj, idx: make(map[Job]int, len(restored))}
+func newCheckpointer(path string, cfg *Config, restored []JobResult) *checkpointer {
+	c := &checkpointer{path: path, inj: cfg.Fault, cfg: cfg, idx: make(map[Job]int, len(restored))}
 	for _, r := range restored {
 		c.idx[r.Job] = len(c.done)
 		c.done = append(c.done, r)
 	}
 	return c
+}
+
+func (c *checkpointer) noteFailure(err error) {
+	c.failures++
+	c.dirty = true
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.Counter("mw.checkpoint_failures").Inc()
+	}
+	c.cfg.Log.Warn("checkpoint write failed, deferred", "path", c.path,
+		"failures", c.failures, "error", err)
 }
 
 func (c *checkpointer) record(o *outcome) {
@@ -194,14 +206,15 @@ func (c *checkpointer) record(o *outcome) {
 		c.done = append(c.done, o.result)
 	}
 	c.writes++
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.Counter("mw.checkpoint_writes").Inc()
+	}
 	if c.inj != nil && c.inj.CheckpointWrite(c.writes) {
-		c.failures++
-		c.dirty = true
+		c.noteFailure(fault.ErrInjected)
 		return
 	}
 	if err := saveCheckpoint(c.path, c.done); err != nil {
-		c.failures++
-		c.dirty = true
+		c.noteFailure(err)
 		return
 	}
 	c.dirty = false
@@ -232,9 +245,19 @@ func SuperviseWithCheckpoint(pat *alignment.Patterns, mod *model.Model, jobs []J
 	if path == "" {
 		return nil, fmt.Errorf("mw: empty checkpoint path")
 	}
+	if cfg.Log == nil {
+		cfg.Log = obs.Discard()
+	}
 	restored, recovered, err := RecoverCheckpoint(path)
 	if err != nil {
 		return nil, err
+	}
+	if recovered {
+		cfg.Log.Warn("damaged checkpoint set aside, lost jobs will be recomputed",
+			"path", path, "aside", path+".corrupt")
+	}
+	if len(restored) > 0 {
+		cfg.Log.Info("resuming from checkpoint", "path", path, "restored", len(restored))
 	}
 	restoredOK := make(map[Job]bool, len(restored))
 	for _, r := range restored {
@@ -249,7 +272,7 @@ func SuperviseWithCheckpoint(pat *alignment.Patterns, mod *model.Model, jobs []J
 		}
 	}
 
-	ckpt := newCheckpointer(path, cfg.Fault, restored)
+	ckpt := newCheckpointer(path, &cfg, restored)
 	rep, serr := supervise(pat, mod, remaining, cfg, ckpt.record)
 	if rep != nil {
 		rep.Stats.CheckpointFailures = ckpt.failures
@@ -257,6 +280,10 @@ func SuperviseWithCheckpoint(pat *alignment.Patterns, mod *model.Model, jobs []J
 		all := append([]JobResult(nil), ckpt.done...)
 		sortResults(all)
 		rep.Results = all
+		// The merged meter must cover restored jobs too, not just the
+		// remainder this run executed.
+		rep.Meter = aggregateMeter(all)
+		obs.PublishMeter(cfg.Metrics, "kernel.", &rep.Meter)
 	}
 	if serr != nil {
 		_ = ckpt.flush() // best-effort persistence of the partial state

@@ -10,12 +10,14 @@ package mw
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 
 	"raxmlcell/internal/alignment"
 	"raxmlcell/internal/fault"
 	"raxmlcell/internal/likelihood"
 	"raxmlcell/internal/model"
+	"raxmlcell/internal/obs"
 	"raxmlcell/internal/search"
 )
 
@@ -77,6 +79,22 @@ type Config struct {
 	// from the wall clock, so production entry points inject
 	// wallclock.Clock; a nil Clock disables deadlines and backoff.
 	Clock fault.Clock
+
+	// Log receives structured supervision events — job lifecycle at Debug,
+	// campaign progress at Info, retries/timeouts at Warn, quarantines at
+	// Error. nil disables logging.
+	Log *slog.Logger
+
+	// Metrics, when non-nil, receives live campaign accounting: the
+	// mw.* supervision counters, the running best log-likelihood, and the
+	// kernel.* meter aggregate republished after every completed job —
+	// the feed behind the /metrics debug endpoint.
+	Metrics *obs.Registry
+
+	// OnProgress, when non-nil, receives each job's search trajectory
+	// (per-round log-likelihood). It may be called concurrently from
+	// several workers and must be safe for that.
+	OnProgress func(Job, search.Progress)
 }
 
 // Plan builds the standard job list of a full analysis: nInf multiple
@@ -126,7 +144,12 @@ func runJob(pat *alignment.Patterns, mod *model.Model, job Job, cfg Config) JobR
 		res.Err = err
 		return res
 	}
-	out, err := search.Run(eng, start, cfg.Search)
+	opts := cfg.Search
+	if cfg.OnProgress != nil {
+		// Bind the job identity into the per-step trajectory hook.
+		opts.OnProgress = func(pr search.Progress) { cfg.OnProgress(job, pr) }
+	}
+	out, err := search.Run(eng, start, opts)
 	if err != nil {
 		res.Err = err
 		return res

@@ -1,0 +1,126 @@
+package mw
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"raxmlcell/internal/obs"
+	"raxmlcell/internal/search"
+)
+
+// TestSuperviseFeedsMetricsAndLog pins the observability wiring of a
+// campaign: supervision counters, the republished kernel meter, the merged
+// Report.Meter, the per-job progress hook and the structured log.
+func TestSuperviseFeedsMetricsAndLog(t *testing.T) {
+	pat, m := testData(t, 8, 300)
+	jobs := Plan(2, 2, 7)
+
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	var mu sync.Mutex
+	progress := map[Job]int{}
+
+	rep, err := Supervise(pat, m, jobs, Config{
+		Workers: 2,
+		Search:  fastSearch(),
+		Log:     obs.NewLogger(&logBuf, obs.Level(true, false)),
+		Metrics: reg,
+		OnProgress: func(job Job, pr search.Progress) {
+			mu.Lock()
+			progress[job]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Report.Meter is the merge of every successful job's meter.
+	var want uint64
+	for _, r := range rep.Results {
+		if r.Err == nil {
+			want += r.Meter.NewviewCalls
+		}
+	}
+	if want == 0 || rep.Meter.NewviewCalls != want {
+		t.Fatalf("Report.Meter.NewviewCalls = %d, want %d", rep.Meter.NewviewCalls, want)
+	}
+
+	snap := reg.Snapshot()
+	if v, _ := snap.CounterValue("mw.jobs_done"); v != uint64(len(jobs)) {
+		t.Errorf("mw.jobs_done = %d, want %d", v, len(jobs))
+	}
+	if v, _ := snap.CounterValue("mw.attempts"); v != uint64(rep.Stats.Attempts) {
+		t.Errorf("mw.attempts = %d, Stats.Attempts = %d", v, rep.Stats.Attempts)
+	}
+	if v, _ := snap.CounterValue(obs.Key("mw.jobs_done", "kind", "bootstrap")); v != 2 {
+		t.Errorf("labeled bootstrap jobs_done = %d, want 2", v)
+	}
+	if v, _ := snap.CounterValue("kernel.newview_calls"); v != want {
+		t.Errorf("kernel.newview_calls = %d, want %d", v, want)
+	}
+	best, ok := snap.GaugeValue("mw.best_logl")
+	if !ok || best >= 0 {
+		t.Errorf("mw.best_logl = %v, %v", best, ok)
+	}
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name == "mw.attempts_per_job" {
+			found = true
+			if h.Count != uint64(len(jobs)) {
+				t.Errorf("attempts_per_job count = %d, want %d", h.Count, len(jobs))
+			}
+		}
+	}
+	if !found {
+		t.Error("mw.attempts_per_job histogram missing from snapshot")
+	}
+
+	// Every job reported at least start+final through the bound hook.
+	if len(progress) != len(jobs) {
+		t.Errorf("progress seen for %d jobs, want %d", len(progress), len(jobs))
+	}
+	for job, n := range progress {
+		if n < 2 {
+			t.Errorf("job %+v reported only %d progress points", job, n)
+		}
+	}
+
+	log := logBuf.String()
+	for _, needle := range []string{"campaign start", "job done", "progress"} {
+		if !strings.Contains(log, needle) {
+			t.Errorf("log missing %q:\n%s", needle, log)
+		}
+	}
+	if strings.Contains(log, "time=") {
+		t.Error("log lines carry wall-clock timestamps")
+	}
+}
+
+// TestSuperviseNilObservability guards the default path: no logger, no
+// registry, no hook — identical campaign results.
+func TestSuperviseNilObservability(t *testing.T) {
+	pat, m := testData(t, 8, 300)
+	jobs := Plan(1, 1, 7)
+	plain, err := Supervise(pat, m, jobs, Config{Workers: 2, Search: fastSearch()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	wired, err := Supervise(pat, m, jobs, Config{
+		Workers: 2, Search: fastSearch(),
+		Log: obs.Discard(), Metrics: reg,
+		OnProgress: func(Job, search.Progress) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Results {
+		p, w := plain.Results[i], wired.Results[i]
+		if p.LogL != w.LogL || p.Newick != w.Newick {
+			t.Fatalf("observability changed job %d: %.6f vs %.6f", i, p.LogL, w.LogL)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package mw
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -10,7 +11,9 @@ import (
 
 	"raxmlcell/internal/alignment"
 	"raxmlcell/internal/fault"
+	"raxmlcell/internal/likelihood"
 	"raxmlcell/internal/model"
+	"raxmlcell/internal/obs"
 	"raxmlcell/internal/phylotree"
 )
 
@@ -79,6 +82,21 @@ type Report struct {
 	Results     []JobResult
 	Quarantined []Quarantine
 	Stats       Stats
+	// Meter aggregates the kernel meters of every successful job — the
+	// merged per-worker accounting, returned here (and republished live
+	// through Config.Metrics) rather than only printed by callers.
+	Meter likelihood.Meter
+}
+
+// aggregateMeter merges the kernel meters of the successful results.
+func aggregateMeter(results []JobResult) likelihood.Meter {
+	var m likelihood.Meter
+	for i := range results {
+		if results[i].Err == nil {
+			m.Add(&results[i].Meter)
+		}
+	}
+	return m
 }
 
 var (
@@ -142,6 +160,7 @@ type supervisor struct {
 	pat *alignment.Patterns
 	mod *model.Model
 	cfg Config
+	log *slog.Logger
 
 	mu          sync.Mutex
 	stats       Stats
@@ -149,6 +168,13 @@ type supervisor struct {
 
 	stop     chan struct{} // closed when the quarantine limit is breached
 	stopOnce sync.Once
+}
+
+// count bumps a live supervision counter; a nil registry costs one branch.
+func (s *supervisor) count(name string) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Counter(name).Inc()
+	}
 }
 
 func (s *supervisor) abort() { s.stopOnce.Do(func() { close(s.stop) }) }
@@ -166,6 +192,12 @@ func (s *supervisor) note(f func(*Stats)) {
 	s.mu.Lock()
 	f(&s.stats)
 	s.mu.Unlock()
+}
+
+func (s *supervisor) quarantineCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.quarantined)
 }
 
 func (s *supervisor) noteQuarantine(q Quarantine) {
@@ -198,7 +230,16 @@ func supervise(pat *alignment.Patterns, mod *model.Model, jobs []Job, cfg Config
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	s := &supervisor{pat: pat, mod: mod, cfg: cfg, stop: make(chan struct{})}
+	if cfg.Log == nil {
+		cfg.Log = obs.Discard()
+	}
+	s := &supervisor{pat: pat, mod: mod, cfg: cfg, log: cfg.Log, stop: make(chan struct{})}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Gauge("mw.jobs_total").Set(float64(len(jobs)))
+		cfg.Metrics.Gauge("mw.workers").Set(float64(cfg.Workers))
+	}
+	s.log.Info("campaign start", "jobs", len(jobs), "workers", cfg.Workers,
+		"max_attempts", cfg.Retry.maxAttempts())
 
 	jobCh := make(chan Job)
 	outCh := make(chan outcome, len(jobs))
@@ -228,8 +269,34 @@ func supervise(pat *alignment.Patterns, mod *model.Model, jobs []Job, cfg Config
 	}()
 
 	rep := &Report{}
+	var failed int
+	best := math.Inf(-1)
 	for o := range outCh {
 		rep.Results = append(rep.Results, o.result)
+		if o.result.Err == nil {
+			rep.Meter.Add(&o.result.Meter)
+			if o.result.LogL > best {
+				best = o.result.LogL
+			}
+		} else {
+			failed++
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.Counter("mw.jobs_done").Inc()
+			cfg.Metrics.Counter(obs.Key("mw.jobs_done", "kind", o.result.Job.Kind.String())).Inc()
+			if o.result.Err != nil {
+				cfg.Metrics.Counter("mw.jobs_failed").Inc()
+			}
+			if !math.IsInf(best, -1) {
+				cfg.Metrics.Gauge("mw.best_logl").Set(best)
+			}
+			cfg.Metrics.Histogram("mw.attempts_per_job", []float64{1, 2, 3, 5, 10, 20}).
+				Observe(float64(o.attempts))
+			obs.PublishMeter(cfg.Metrics, "kernel.", &rep.Meter)
+		}
+		s.log.Info("progress",
+			"done", len(rep.Results), "total", len(jobs), "failed", failed,
+			"quarantined", s.quarantineCount(), "best_logl", best)
 		if onOutcome != nil {
 			onOutcome(&o)
 		}
@@ -268,25 +335,38 @@ func (s *supervisor) superviseJob(job Job) outcome {
 		}
 		if attempt > 1 {
 			s.note(func(st *Stats) { st.Retries++ })
-			if d := backoffDelay(s.cfg.Retry, job.Seed, attempt); d > 0 && s.cfg.Clock != nil {
+			s.count("mw.retries")
+			d := backoffDelay(s.cfg.Retry, job.Seed, attempt)
+			s.log.Warn("retrying job", "kind", job.Kind.String(), "index", job.Index,
+				"attempt", attempt, "backoff", d, "last_error", last.Err)
+			if d > 0 && s.cfg.Clock != nil {
 				s.cfg.Clock.Sleep(d)
 			}
 		}
 		s.note(func(st *Stats) { st.Attempts++ })
+		s.count("mw.attempts")
 		r, timedOut := s.attemptOnce(job, attempt)
 		if timedOut {
 			s.note(func(st *Stats) { st.Timeouts++ })
+			s.count("mw.timeouts")
 		}
 		if r.Err == nil {
 			if verr := ValidateResult(&r); verr != nil {
 				r.Err = verr
+				s.log.Warn("result failed validation", "kind", job.Kind.String(),
+					"index", job.Index, "attempt", attempt, "error", verr)
 			} else {
+				s.log.Debug("job done", "kind", job.Kind.String(), "index", job.Index,
+					"attempts", attempt, "logl", r.LogL, "alpha", r.Alpha)
 				return outcome{result: r, attempts: attempt}
 			}
 		}
 		last = r
 	}
 	s.noteQuarantine(Quarantine{Job: job, Attempts: budget, Err: last.Err})
+	s.count("mw.quarantined")
+	s.log.Error("job quarantined", "kind", job.Kind.String(), "index", job.Index,
+		"attempts", budget, "error", last.Err)
 	return outcome{result: last, attempts: budget, quarantined: true}
 }
 
@@ -298,6 +378,7 @@ func (s *supervisor) attemptOnce(job Job, attempt int) (JobResult, bool) {
 		dec = s.cfg.Fault.JobAttempt(job.Seed, attempt)
 		if dec.Kind != fault.None {
 			s.note(func(st *Stats) { st.FaultsInjected++ })
+			s.count("mw.faults_injected")
 		}
 	}
 	timeout := s.cfg.Retry.JobTimeout

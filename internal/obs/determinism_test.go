@@ -1,0 +1,65 @@
+package obs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"raxmlcell/internal/cell"
+	"raxmlcell/internal/cellrt"
+	"raxmlcell/internal/obs"
+	"raxmlcell/internal/workload"
+)
+
+// runTraced executes a small simulated Cell run with a fresh tracer attached
+// and returns the serialized timeline.
+func runTraced(t *testing.T, sched cellrt.Scheduler) []byte {
+	t.Helper()
+	tr := obs.NewTracer()
+	_, err := cellrt.Run(workload.Profile42SC(), cell.DefaultCostModel(), cell.DefaultParams(), cellrt.Config{
+		Stage:     cellrt.StageAllOffloaded,
+		Scheduler: sched,
+		Workers:   2,
+		Searches:  3,
+		Episodes:  8,
+		Tracer:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("trace fails schema validation: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceByteDeterministic is the golden determinism property: two runs of
+// the same configuration must serialize to byte-identical timelines. This is
+// what makes traces diffable across commits and golden-testable in CI.
+func TestTraceByteDeterministic(t *testing.T) {
+	for _, sched := range []cellrt.Scheduler{cellrt.SchedEDTLP, cellrt.SchedMGPS} {
+		a := runTraced(t, sched)
+		b := runTraced(t, sched)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%v: identical runs produced different traces (%d vs %d bytes)",
+				sched, len(a), len(b))
+		}
+	}
+}
+
+// TestTraceDistinguishesSchedulers pins the other half of the contract:
+// different schedulers must produce different — but each individually
+// stable — timelines, so a trace actually reflects scheduling decisions.
+func TestTraceDistinguishesSchedulers(t *testing.T) {
+	edtlp := runTraced(t, cellrt.SchedEDTLP)
+	mgps := runTraced(t, cellrt.SchedMGPS)
+	if bytes.Equal(edtlp, mgps) {
+		t.Fatal("EDTLP and MGPS runs produced identical traces")
+	}
+}

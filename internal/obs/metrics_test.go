@@ -1,0 +1,132 @@
+package obs_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"raxmlcell/internal/obs"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("jobs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("jobs") != c {
+		t.Fatal("Counter not get-or-create")
+	}
+	c.Store(2)
+	if got := c.Value(); got != 2 {
+		t.Fatalf("counter after Store = %d, want 2", got)
+	}
+
+	g := r.Gauge("logl")
+	g.Set(-1234.5)
+	if got := g.Value(); got != -1234.5 {
+		t.Fatalf("gauge = %v", got)
+	}
+	g.Max(-2000) // lower: ignored
+	if got := g.Value(); got != -1234.5 {
+		t.Fatalf("Max lowered the gauge to %v", got)
+	}
+	g.Max(-1000)
+	if got := g.Value(); got != -1000 {
+		t.Fatalf("Max did not raise the gauge: %v", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := obs.NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("snapshot has %d histograms", len(s.Histograms))
+	}
+	hv := s.Histograms[0]
+	if hv.Count != 5 || hv.Sum != 5060.5 {
+		t.Fatalf("count=%d sum=%v", hv.Count, hv.Sum)
+	}
+	want := []uint64{1, 2, 1, 1}
+	for i, c := range hv.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestKey(t *testing.T) {
+	if got := obs.Key("mw.jobs"); got != "mw.jobs" {
+		t.Fatalf("unlabeled Key = %q", got)
+	}
+	got := obs.Key("mw.jobs", "kind", "bootstrap", "index", "3")
+	if got != "mw.jobs{index=3,kind=bootstrap}" {
+		t.Fatalf("Key = %q", got)
+	}
+	// Label order must not matter.
+	if other := obs.Key("mw.jobs", "index", "3", "kind", "bootstrap"); other != got {
+		t.Fatalf("Key order-sensitive: %q vs %q", other, got)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *obs.Registry {
+		r := obs.NewRegistry()
+		// Insertion order differs from sorted order on purpose.
+		r.Counter("z.last").Add(3)
+		r.Counter("a.first").Add(1)
+		r.Gauge("m.mid").Set(2.5)
+		r.Gauge("b.low").Set(-1)
+		r.Histogram("h", []float64{1}).Observe(0.5)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	s := build().Snapshot()
+	if s.Counters[0].Name != "a.first" || s.Counters[1].Name != "z.last" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if v, ok := s.CounterValue("z.last"); !ok || v != 3 {
+		t.Fatalf("CounterValue(z.last) = %d, %v", v, ok)
+	}
+	if v, ok := s.GaugeValue("b.low"); !ok || v != -1 {
+		t.Fatalf("GaugeValue(b.low) = %v, %v", v, ok)
+	}
+	if _, ok := s.CounterValue("absent"); ok {
+		t.Fatal("lookup of absent counter succeeded")
+	}
+}

@@ -1,0 +1,28 @@
+// Package obs is the observability layer of the reproduction: deterministic
+// timeline tracing for the simulated Cell, a unified metrics registry for
+// real inference campaigns, and live introspection endpoints.
+//
+// The package has three coordinated parts:
+//
+//   - Tracer records typed span/instant/counter events keyed to simulated
+//     time (sim.Time, never the wall clock) and exports them as Chrome
+//     trace-event JSON, loadable in Perfetto or chrome://tracing. Output is
+//     sorted and byte-deterministic: two runs of the simulator with the
+//     same seed and configuration produce identical files, so traces are
+//     golden-testable like any other simulator output.
+//
+//   - Registry is a process-wide metrics surface — counters, gauges and
+//     histograms — that unifies the accounting previously scattered across
+//     one-off structs: the likelihood kernel Meter, master-worker
+//     supervision Stats, checkpoint events and search progress. Snapshots
+//     are sorted by name, so their JSON form is deterministic too.
+//
+//   - The debug HTTP mux (NewDebugMux/StartDebugServer) serves
+//     net/http/pprof profiles, expvar, and a /metrics JSON view of a
+//     Registry during a live run, and the slog helpers give every CLI the
+//     same structured logging levels (-v/-quiet).
+//
+// obs sits under the simdeterminism analyzer: nothing in this package may
+// read the wall clock, draw from the global math/rand source, or iterate a
+// map in randomized order on a path that feeds trace or snapshot output.
+package obs

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Level maps the shared CLI verbosity flags to a slog level: -quiet keeps
+// warnings and errors only, -v adds per-job and per-step debug detail, and
+// the default is campaign-phase progress at Info. Quiet wins when both are
+// set.
+func Level(verbose, quiet bool) slog.Level {
+	switch {
+	case quiet:
+		return slog.LevelWarn
+	case verbose:
+		return slog.LevelDebug
+	}
+	return slog.LevelInfo
+}
+
+// NewLogger builds the shared structured logger: a text handler with the
+// timestamp attribute stripped, matching the repo's log.SetFlags(0) idiom —
+// supervision events stay greppable and stable across runs (job outcomes
+// are seed-determined, so the interesting fields are, too).
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+}
+
+// Discard returns a logger that drops everything — the nil-object the
+// runtime layers substitute when no logger is configured.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }

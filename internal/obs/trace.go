@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"raxmlcell/internal/sim"
+)
+
+// Tracer records a timeline of typed events keyed to simulated time. It
+// implements sim.Tracer, so it can be attached to a simulation engine
+// (sim.Engine.SetTracer) and passed to the Cell runtime (cellrt.Config),
+// which emit scheduler- and hardware-level events into it.
+//
+// Timestamps are simulated cycles, emitted verbatim into the trace-event
+// "ts" field (which viewers display as microseconds — the scale is wrong
+// but the shape, ordering and proportions are exact). A Tracer is not safe
+// for concurrent use; the simulation engine resumes one process at a time,
+// so all simulator events arrive from a single goroutine.
+type Tracer struct {
+	events []traceEvent
+	tids   map[string]int
+	tracks []string // track name by tid, in first-use order
+	seq    uint64
+}
+
+// Event phases, a subset of the Chrome trace-event format.
+const (
+	phaseComplete = 'X' // span with a duration
+	phaseInstant  = 'i' // zero-duration marker
+	phaseCounter  = 'C' // sampled numeric series
+)
+
+type traceEvent struct {
+	ts   sim.Time
+	dur  sim.Time
+	seq  uint64 // insertion order, the tie-breaker among same-cycle events
+	tid  int
+	ph   byte
+	name string
+	cat  string
+	val  float64 // counter value (phaseCounter only)
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{tids: make(map[string]int)}
+}
+
+// tid returns the stable thread id of a named track, assigning ids in
+// first-use order so the mapping is deterministic for a deterministic run.
+func (t *Tracer) tid(track string) int {
+	if id, ok := t.tids[track]; ok {
+		return id
+	}
+	id := len(t.tracks)
+	t.tids[track] = id
+	t.tracks = append(t.tracks, track)
+	return id
+}
+
+// Instant records a zero-duration marker on the named track.
+func (t *Tracer) Instant(track, name, cat string, at sim.Time) {
+	t.seq++
+	t.events = append(t.events, traceEvent{
+		ts: at, seq: t.seq, tid: t.tid(track), ph: phaseInstant, name: name, cat: cat,
+	})
+}
+
+// Span records a slice covering [from, to] on the named track. Spans whose
+// interval is inverted are dropped rather than emitted corrupt.
+func (t *Tracer) Span(track, name, cat string, from, to sim.Time) {
+	if to < from {
+		return
+	}
+	t.seq++
+	t.events = append(t.events, traceEvent{
+		ts: from, dur: to - from, seq: t.seq, tid: t.tid(track), ph: phaseComplete, name: name, cat: cat,
+	})
+}
+
+// Counter records a sample of a numeric series on the named track.
+func (t *Tracer) Counter(track, name string, at sim.Time, value float64) {
+	t.seq++
+	t.events = append(t.events, traceEvent{
+		ts: at, seq: t.seq, tid: t.tid(track), ph: phaseCounter, name: name, val: value,
+	})
+}
+
+// Len reports the number of recorded events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// Reset drops all recorded events and track assignments.
+func (t *Tracer) Reset() {
+	t.events = t.events[:0]
+	t.tracks = t.tracks[:0]
+	t.tids = make(map[string]int)
+	t.seq = 0
+}
+
+// WriteJSON emits the recorded timeline as a Chrome trace-event file:
+// thread-name metadata first, then every event sorted by (ts, insertion
+// order). The encoding is hand-rolled with a fixed field order, so the
+// output is byte-deterministic — the property the golden determinism tests
+// pin down.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString("\n")
+	}
+	for tid, track := range t.tracks {
+		comma()
+		fmt.Fprintf(bw, `{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%s}}`,
+			tid, quoteJSON(track))
+		comma()
+		fmt.Fprintf(bw, `{"name":"thread_sort_index","ph":"M","pid":0,"tid":%d,"args":{"sort_index":%d}}`,
+			tid, tid)
+	}
+	sorted := append([]traceEvent(nil), t.events...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].ts != sorted[j].ts {
+			return sorted[i].ts < sorted[j].ts
+		}
+		return sorted[i].seq < sorted[j].seq
+	})
+	for _, ev := range sorted {
+		comma()
+		switch ev.ph {
+		case phaseComplete:
+			fmt.Fprintf(bw, `{"name":%s,"cat":%s,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d}`,
+				quoteJSON(ev.name), quoteJSON(ev.cat), ev.ts, ev.dur, ev.tid)
+		case phaseInstant:
+			fmt.Fprintf(bw, `{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}`,
+				quoteJSON(ev.name), quoteJSON(ev.cat), ev.ts, ev.tid)
+		case phaseCounter:
+			fmt.Fprintf(bw, `{"name":%s,"ph":"C","ts":%d,"pid":0,"tid":%d,"args":{"value":%s}}`,
+				quoteJSON(ev.name), ev.ts, ev.tid,
+				strconv.FormatFloat(ev.val, 'g', -1, 64))
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// quoteJSON renders s as a JSON string literal.
+func quoteJSON(s string) string {
+	b, _ := json.Marshal(s) // marshaling a string cannot fail
+	return string(b)
+}
+
+// validation types mirror the trace-event fields we emit; pointers
+// distinguish absent from zero.
+type vEvent struct {
+	Name  *string  `json:"name"`
+	Phase *string  `json:"ph"`
+	TS    *float64 `json:"ts"`
+	Dur   *float64 `json:"dur"`
+	PID   *int     `json:"pid"`
+	TID   *int     `json:"tid"`
+	Scope *string  `json:"s"`
+}
+
+type vFile struct {
+	TraceEvents []vEvent `json:"traceEvents"`
+}
+
+// ValidateTrace checks that r holds a well-formed Chrome trace-event JSON
+// file — the schema gate run by `make trace` and CI before a trace is
+// published as an artifact. It returns the number of events validated.
+func ValidateTrace(r io.Reader) (int, error) {
+	var f vFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return 0, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return 0, fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	for i, ev := range f.TraceEvents {
+		if ev.Name == nil || *ev.Name == "" {
+			return 0, fmt.Errorf("obs: event %d: missing name", i)
+		}
+		if ev.Phase == nil {
+			return 0, fmt.Errorf("obs: event %d (%s): missing ph", i, *ev.Name)
+		}
+		switch *ev.Phase {
+		case "M":
+			// Metadata carries no timestamp.
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return 0, fmt.Errorf("obs: event %d (%s): complete event needs dur >= 0", i, *ev.Name)
+			}
+			fallthrough
+		case "i", "C":
+			if ev.TS == nil || *ev.TS < 0 {
+				return 0, fmt.Errorf("obs: event %d (%s): needs ts >= 0", i, *ev.Name)
+			}
+			if *ev.Phase == "i" && (ev.Scope == nil || *ev.Scope == "") {
+				return 0, fmt.Errorf("obs: event %d (%s): instant event needs a scope", i, *ev.Name)
+			}
+		default:
+			return 0, fmt.Errorf("obs: event %d (%s): unknown phase %q", i, *ev.Name, *ev.Phase)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return 0, fmt.Errorf("obs: event %d (%s): missing pid/tid", i, *ev.Name)
+		}
+	}
+	return len(f.TraceEvents), nil
+}

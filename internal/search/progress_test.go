@@ -1,0 +1,94 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"raxmlcell/internal/likelihood"
+)
+
+// TestRunProgressTrajectory pins the OnProgress contract: a start point
+// after the initial smoothing/alpha fit, one point per SPR round, and a
+// final point whose values match the returned result.
+func TestRunProgressTrajectory(t *testing.T) {
+	pat, _, m := simulated(t, 17, 9, 300)
+	eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	start, err := StartingTree(pat, "random", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var traj []Progress
+	opts := DefaultOptions()
+	opts.OnProgress = func(pr Progress) { traj = append(traj, pr) }
+	res, err := Run(eng, start, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(traj) < 3 {
+		t.Fatalf("trajectory has %d points, want at least start+round+final", len(traj))
+	}
+	if traj[0].Phase != "start" || traj[0].Round != 0 {
+		t.Fatalf("first point = %+v, want phase start at round 0", traj[0])
+	}
+	last := traj[len(traj)-1]
+	if last.Phase != "final" {
+		t.Fatalf("last point phase = %q, want final", last.Phase)
+	}
+	if last.LogL != res.LogL || last.Moves != res.Moves || last.Round != res.Rounds {
+		t.Fatalf("final point %+v disagrees with result logL=%v moves=%d rounds=%d",
+			last, res.LogL, res.Moves, res.Rounds)
+	}
+	rounds := 0
+	for i, pr := range traj[1 : len(traj)-1] {
+		if pr.Phase != "round" {
+			t.Fatalf("middle point %d has phase %q", i+1, pr.Phase)
+		}
+		rounds++
+		if pr.Round != rounds {
+			t.Fatalf("round points out of order: %+v at position %d", pr, i+1)
+		}
+		// A hill climb never loses likelihood between rounds.
+		if pr.LogL < traj[i].LogL-1e-6 {
+			t.Fatalf("logL regressed: %.6f -> %.6f", traj[i].LogL, pr.LogL)
+		}
+	}
+	if rounds != res.Rounds {
+		t.Fatalf("saw %d round points, result says %d rounds", rounds, res.Rounds)
+	}
+}
+
+// TestRunNoProgressCallback guards the nil path: no callback, no panic,
+// identical result values.
+func TestRunNoProgressCallback(t *testing.T) {
+	pat, _, m := simulated(t, 17, 9, 300)
+	build := func(withHook bool) *Result {
+		eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(17))
+		start, err := StartingTree(pat, "random", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		if withHook {
+			opts.OnProgress = func(Progress) {}
+		}
+		res, err := Run(eng, start, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, hooked := build(false), build(true)
+	if plain.LogL != hooked.LogL || plain.Moves != hooked.Moves {
+		t.Fatalf("progress hook changed the search: %+v vs %+v", plain, hooked)
+	}
+}

@@ -8,6 +8,16 @@ import (
 	"raxmlcell/internal/phylotree"
 )
 
+// Progress is one point on a search's log-likelihood trajectory, reported
+// through Options.OnProgress as the hill-climb advances.
+type Progress struct {
+	Phase string  // "start" (initial smoothing), "round" (after an SPR round), "final"
+	Round int     // SPR rounds completed (0 at the start point)
+	Moves int     // accepted SPR moves so far
+	LogL  float64 // current log-likelihood
+	Alpha float64 // current Gamma shape
+}
+
 // Options configures the hill-climbing search.
 type Options struct {
 	Radius       int     // SPR rearrangement radius (RAxML's rearrangement setting)
@@ -16,6 +26,12 @@ type Options struct {
 	Epsilon      float64 // minimum log-likelihood gain to keep iterating
 	AlphaOpt     bool    // re-fit the Gamma shape between rounds
 	ModelOpt     bool    // fit the GTR exchangeabilities on the final tree
+
+	// OnProgress, when non-nil, receives the per-step log-likelihood
+	// trajectory of the search (the series behind live campaign metrics
+	// and Figure-3-style scheduler reasoning). It runs on the searching
+	// goroutine, so it must be cheap and must not mutate the tree/engine.
+	OnProgress func(Progress)
 }
 
 // DefaultOptions mirrors the paper's search regime at small scale.
@@ -154,6 +170,10 @@ func Run(eng *likelihood.Engine, start *phylotree.Tree, opt Options) (*Result, e
 		}
 	}
 
+	if opt.OnProgress != nil {
+		opt.OnProgress(Progress{Phase: "start", LogL: ll, Alpha: alpha})
+	}
+
 	res := &Result{Tree: start, Alpha: alpha}
 	for round := 0; round < opt.MaxRounds; round++ {
 		res.Rounds = round + 1
@@ -173,6 +193,9 @@ func Run(eng *likelihood.Engine, start *phylotree.Tree, opt Options) (*Result, e
 			}
 			res.Alpha = alpha
 		}
+		if opt.OnProgress != nil {
+			opt.OnProgress(Progress{Phase: "round", Round: round + 1, Moves: res.Moves, LogL: newLL, Alpha: alpha})
+		}
 		if newLL-ll < opt.Epsilon {
 			ll = math.Max(ll, newLL)
 			break
@@ -190,5 +213,8 @@ func Run(eng *likelihood.Engine, start *phylotree.Tree, opt Options) (*Result, e
 		res.Alpha = eng.Mod.Alpha
 	}
 	res.LogL = ll
+	if opt.OnProgress != nil {
+		opt.OnProgress(Progress{Phase: "final", Round: res.Rounds, Moves: res.Moves, LogL: ll, Alpha: res.Alpha})
+	}
 	return res, nil
 }

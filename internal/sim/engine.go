@@ -40,12 +40,30 @@ func (h *eventHeap) Pop() interface{} {
 	return x
 }
 
+// Tracer receives the engine's timeline events: process lifecycle
+// instants, work spans (Advance), and waiting spans (blocked on a Cond).
+// internal/obs provides the standard implementation that exports Chrome
+// trace-event JSON; the engine itself only requires this interface so the
+// simulator does not depend on the observability layer.
+//
+// All timestamps are simulated cycles. A nil tracer disables tracing with
+// no per-event cost beyond one branch.
+type Tracer interface {
+	// Instant records a zero-duration marker on a track.
+	Instant(track, name, cat string, at Time)
+	// Span records a slice covering [from, to] on a track.
+	Span(track, name, cat string, from, to Time)
+	// Counter records a sample of a numeric series.
+	Counter(track, name string, at Time, value float64)
+}
+
 // Engine owns the virtual clock and the run queue.
 type Engine struct {
 	now    Time
 	seq    uint64
 	events eventHeap
 	procs  []*Proc
+	tracer Tracer
 }
 
 // NewEngine creates an empty simulation.
@@ -53,6 +71,13 @@ func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetTracer attaches a timeline tracer (nil disables tracing). Attach it
+// before Run so process spawns are captured.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// Tracer returns the attached tracer, or nil.
+func (e *Engine) Tracer() Tracer { return e.tracer }
 
 // Proc is one simulated thread of execution. All Proc methods must be
 // called from within the process's own body function.
@@ -63,11 +88,12 @@ type Proc struct {
 	parked chan struct{}
 	body   func(*Proc)
 
-	started bool
-	done    bool
-	daemon  bool // daemons may remain blocked when the simulation ends
-	blocked bool // parked without a pending wake event (waiting on a Cond)
-	err     error
+	started   bool
+	done      bool
+	daemon    bool // daemons may remain blocked when the simulation ends
+	blocked   bool // parked without a pending wake event (waiting on a Cond)
+	blockedAt Time // when the current block began (tracing)
+	err       error
 }
 
 // Spawn registers a new process whose body starts executing at the current
@@ -83,6 +109,9 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	}
 	e.procs = append(e.procs, p)
 	e.schedule(p, e.now)
+	if e.tracer != nil {
+		e.tracer.Instant(p.Name, "spawn", "sim", e.now)
+	}
 	return p
 }
 
@@ -134,6 +163,9 @@ func (e *Engine) Run() error {
 		if p.err != nil {
 			return p.err
 		}
+		if p.done && e.tracer != nil {
+			e.tracer.Instant(p.Name, "exit", "sim", e.now)
+		}
 	}
 	for _, p := range e.procs {
 		if !p.done && p.started && p.blocked && !p.daemon {
@@ -153,6 +185,9 @@ func (p *Proc) park() {
 // Advance moves the process's execution forward by d cycles of simulated
 // time (modelling computation or fixed-latency operations).
 func (p *Proc) Advance(d Time) {
+	if d > 0 && p.eng.tracer != nil {
+		p.eng.tracer.Span(p.Name, "advance", "sim", p.eng.now, p.eng.now+d)
+	}
 	p.eng.schedule(p, p.eng.now+d)
 	p.park()
 }
@@ -165,7 +200,11 @@ func (p *Proc) Yield() { p.Advance(0) }
 // reschedule it. Used by the synchronization primitives.
 func (p *Proc) block() {
 	p.blocked = true
+	p.blockedAt = p.eng.now
 	p.park()
+	if t := p.eng.tracer; t != nil && p.eng.now > p.blockedAt {
+		t.Span(p.Name, "blocked", "sim", p.blockedAt, p.eng.now)
+	}
 }
 
 // unblock schedules the process to resume at the current time.
