@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race bench chaos fuzz lint raxmlvet trace fmt clean
+.PHONY: build test race bench bench-json chaos fuzz lint raxmlvet trace fmt clean
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,15 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# bench-json measures the serial vs. worker-pool SPR search on the 42_SC
+# stand-in workload and writes the result (timings, kernel counters, host
+# metadata, speedup) as schema-validated JSON. The committed snapshot is
+# BENCH_PR5.json; CI regenerates a quick variant and validates both. Extra
+# flags: make bench-json BENCHJSON_FLAGS="-quick -out /tmp/smoke.json"
+BENCHJSON_FLAGS ?= -out BENCH_PR5.json
+bench-json:
+	$(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS)
 
 # chaos replays the fault-injection campaigns under the race detector with a
 # pinned seed, so a failure here is reproducible bit for bit. Override

@@ -1,0 +1,241 @@
+// Command benchjson measures the task-level-parallelism speedup of the SPR
+// search on the 42_SC stand-in workload and writes it as machine-readable
+// JSON (BENCH_PR5.json in the repo root is a committed snapshot).
+//
+// The workload mirrors BenchmarkSearch42SC / BenchmarkParallelSPR42SC in
+// bench_test.go: simulate a 42-taxa x 1167-site alignment at the paper's
+// benchmark dimensions (seed 62), build the same parsimony starting tree
+// every run (seed 63), then hill-climb with Radius 3, MaxRounds 2,
+// SmoothPasses 2, Epsilon 0.05 — once serially and once with the
+// -search-workers pool. Both runs must land on the identical logL (the pool
+// is a scheduling change, not a search change); benchjson enforces that
+// before writing.
+//
+// Usage:
+//
+//	benchjson -out BENCH_PR5.json            # full measurement (best of -reps)
+//	benchjson -quick -out /tmp/smoke.json    # single repetition (CI smoke)
+//	benchjson -check BENCH_PR5.json          # parse + validate an existing file
+//
+// Host metadata (cpus, GOMAXPROCS, Go version) is recorded so a committed
+// snapshot from a small container is distinguishable from a multi-core CI
+// run; the speedup field is only meaningful when cpus >= workers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"raxmlcell/internal/alignment"
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/parsimony"
+	"raxmlcell/internal/search"
+	"raxmlcell/internal/seqsim"
+)
+
+// Entry is one measured configuration of the search workload.
+type Entry struct {
+	Name      string  `json:"name"`
+	Workers   int     `json:"workers"`
+	Reps      int     `json:"reps"`
+	NsPerOp   int64   `json:"ns_per_op"` // best (minimum) wall time of the reps
+	LogL      float64 `json:"logL"`
+	Rounds    int     `json:"rounds"`
+	Moves     int     `json:"moves"`
+	Newviews  uint64  `json:"newview_calls"`
+	Makenewzs uint64  `json:"makenewz_calls"`
+	Evaluates uint64  `json:"evaluate_calls"`
+	Flops     uint64  `json:"flops"`
+	Exps      uint64  `json:"exps"`
+}
+
+// Report is the file schema.
+type Report struct {
+	Schema     string  `json:"schema"` // "raxmlcell-bench/1"
+	Generated  string  `json:"generated"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPUs       int     `json:"cpus"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workload   string  `json:"workload"`
+	Entries    []Entry `json:"entries"`
+	Speedup    float64 `json:"speedup"` // serial ns_per_op / parallel ns_per_op
+}
+
+const schemaID = "raxmlcell-bench/1"
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_PR5.json", "output path")
+		workers = flag.Int("workers", 4, "worker-pool size for the parallel entry")
+		reps    = flag.Int("reps", 3, "repetitions per entry; the best time is reported")
+		quick   = flag.Bool("quick", false, "single repetition (CI smoke)")
+		check   = flag.String("check", "", "validate an existing report file and exit")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s report\n", *check, schemaID)
+		return
+	}
+
+	if *quick {
+		*reps = 1
+	}
+	rep, err := measure(*workers, *reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	// Self-validate what was just written: the committed snapshot must pass
+	// the same gate CI applies.
+	if err := checkFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote invalid report: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: serial %.2fms, workers=%d %.2fms, speedup %.2fx (cpus=%d)\n",
+		*out, float64(rep.Entries[0].NsPerOp)/1e6, *workers,
+		float64(rep.Entries[1].NsPerOp)/1e6, rep.Speedup, rep.CPUs)
+}
+
+// measure runs the serial and pooled search workloads and assembles the
+// report.
+func measure(workers, reps int) (*Report, error) {
+	rng := rand.New(rand.NewSource(62))
+	m := seqsim.DefaultModel()
+	a, _, err := seqsim.Generate(seqsim.Params42SC(), m, rng)
+	if err != nil {
+		return nil, err
+	}
+	pat := alignment.Compress(a)
+
+	serial, err := runEntry("serial", pat, 1, reps)
+	if err != nil {
+		return nil, err
+	}
+	pooled, err := runEntry(fmt.Sprintf("workers-%d", workers), pat, workers, reps)
+	if err != nil {
+		return nil, err
+	}
+	// Determinism gate: the pool must not change the search result.
+	if math.Abs(serial.LogL-pooled.LogL) > 1e-9*math.Max(1, math.Abs(serial.LogL)) {
+		return nil, fmt.Errorf("pooled logL %.12f != serial %.12f", pooled.LogL, serial.LogL)
+	}
+	if serial.Moves != pooled.Moves || serial.Rounds != pooled.Rounds {
+		return nil, fmt.Errorf("search path diverged: serial %d moves/%d rounds, pooled %d/%d",
+			serial.Moves, serial.Rounds, pooled.Moves, pooled.Rounds)
+	}
+
+	return &Report{
+		Schema:     schemaID,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   "42sc SPR search: seqsim.Params42SC seed 62, parsimony start seed 63, Radius 3, MaxRounds 2, SmoothPasses 2, Epsilon 0.05",
+		Entries:    []Entry{*serial, *pooled},
+		Speedup:    float64(serial.NsPerOp) / float64(pooled.NsPerOp),
+	}, nil
+}
+
+// runEntry measures one configuration, reporting the best wall time over
+// reps repetitions and the (deterministic) result of the last one.
+func runEntry(name string, pat *alignment.Patterns, workers, reps int) (*Entry, error) {
+	m := seqsim.DefaultModel()
+	e := &Entry{Name: name, Workers: workers, Reps: reps, NsPerOp: math.MaxInt64}
+	for r := 0; r < reps; r++ {
+		start, err := parsimony.BuildStepwise(pat, rand.New(rand.NewSource(63)))
+		if err != nil {
+			return nil, err
+		}
+		eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		res, err := search.Run(eng, start, search.Options{
+			Radius: 3, MaxRounds: 2, SmoothPasses: 2, Epsilon: 0.05,
+			Workers: workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ns := time.Since(t0).Nanoseconds(); ns < e.NsPerOp {
+			e.NsPerOp = ns
+		}
+		mt := eng.Meter
+		e.LogL, e.Rounds, e.Moves = res.LogL, res.Rounds, res.Moves
+		e.Newviews, e.Makenewzs, e.Evaluates = mt.NewviewCalls, mt.MakenewzCalls, mt.EvaluateCalls
+		e.Flops, e.Exps = mt.Flops(), mt.Exps
+	}
+	return e, nil
+}
+
+// checkFile parses and validates a report: schema tag, both entries
+// present with non-zero timings and kernel counters, matching results.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if rep.Schema != schemaID {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, schemaID)
+	}
+	if rep.CPUs < 1 || rep.GoVersion == "" {
+		return fmt.Errorf("missing host metadata")
+	}
+	if len(rep.Entries) != 2 {
+		return fmt.Errorf("%d entries, want 2 (serial + pooled)", len(rep.Entries))
+	}
+	serial, pooled := rep.Entries[0], rep.Entries[1]
+	if serial.Workers != 1 || pooled.Workers < 2 {
+		return fmt.Errorf("entry workers (%d, %d), want (1, >=2)", serial.Workers, pooled.Workers)
+	}
+	for _, e := range rep.Entries {
+		if e.NsPerOp <= 0 {
+			return fmt.Errorf("entry %s: ns_per_op %d", e.Name, e.NsPerOp)
+		}
+		// Evaluate may legitimately be zero: the SPR workload reads its
+		// likelihoods off MakeNewz, so only the other kernels must show up.
+		if e.Newviews == 0 || e.Makenewzs == 0 || e.Flops == 0 {
+			return fmt.Errorf("entry %s: zero kernel counters", e.Name)
+		}
+		if !(e.LogL < 0) {
+			return fmt.Errorf("entry %s: implausible logL %v", e.Name, e.LogL)
+		}
+	}
+	if math.Abs(serial.LogL-pooled.LogL) > 1e-9*math.Max(1, math.Abs(serial.LogL)) {
+		return fmt.Errorf("entries disagree on logL: %.12f vs %.12f", serial.LogL, pooled.LogL)
+	}
+	if rep.Speedup <= 0 {
+		return fmt.Errorf("speedup %v", rep.Speedup)
+	}
+	return nil
+}

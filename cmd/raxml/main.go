@@ -43,6 +43,8 @@ func main() {
 		bootstraps = flag.Int("bootstraps", 20, "number of bootstrap replicates")
 		seed       = flag.Int64("seed", 42, "master random seed")
 		workers    = flag.Int("workers", 4, "parallel workers (the MPI process count)")
+		searchWk   = flag.Int("search-workers", 1, "concurrent SPR-candidate scoring / wavefront traversal workers inside each search (1 = serial; see README for the -workers x -search-workers x -threads oversubscription guidance)")
+		threads    = flag.Int("threads", 1, "goroutines splitting the per-pattern loops inside each likelihood kernel call (the RAxML-OMP loop-level axis)")
 		radius     = flag.Int("radius", 5, "SPR rearrangement radius")
 		rounds     = flag.Int("rounds", 10, "maximum SPR rounds per search")
 		alpha      = flag.Float64("alpha", 0.8, "initial Gamma shape")
@@ -120,8 +122,9 @@ func main() {
 		Search: search.Options{
 			Radius: *radius, MaxRounds: *rounds,
 			SmoothPasses: 4, Epsilon: 0.01, AlphaOpt: true, ModelOpt: *optModel,
+			Workers: *searchWk,
 		},
-		Kernel:  likelihood.Config{SDKExp: *sdkExp, IntCond: *intCond, Incremental: *incr},
+		Kernel:  likelihood.Config{SDKExp: *sdkExp, IntCond: *intCond, Incremental: *incr, Threads: *threads},
 		Log:     logger,
 		Metrics: metrics,
 	}

@@ -170,6 +170,12 @@ func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
 		Log:     cfg.Log,
 		Metrics: cfg.Metrics,
 	}
+	// Feed the search-level series (candidates scored, parallel rounds,
+	// pool occupancy) into the same registry the mw.* counters use, unless
+	// the caller routed them elsewhere explicitly.
+	if mwCfg.Search.Metrics == nil {
+		mwCfg.Search.Metrics = cfg.Metrics
+	}
 	if cfg.Log == nil {
 		cfg.Log = obs.Discard()
 	}
@@ -290,6 +296,9 @@ func InferOnce(pat *alignment.Patterns, cfg Config) (*search.Result, *likelihood
 	eng, err := likelihood.NewEngine(pat, mod, cfg.Kernel)
 	if err != nil {
 		return nil, nil, err
+	}
+	if cfg.Search.Metrics == nil {
+		cfg.Search.Metrics = cfg.Metrics
 	}
 	res, err := search.Run(eng, start, cfg.Search)
 	if err != nil {

@@ -46,7 +46,10 @@ type Config struct {
 	// goroutine pool — the shared-memory loop-level parallelism of
 	// RAxML-OMP that the paper's LLP scheduler maps onto SPEs. Partial
 	// vectors are bit-identical to the serial kernels; log-likelihood
-	// reductions may differ by floating point summation order.
+	// reductions may differ by floating point summation order. This is the
+	// *inner* (loop-level) axis; the *outer* (task-level) axis — wavefront
+	// traversal and concurrent candidate scoring — is driven by Pool (see
+	// Engine.NewPool and search.Options.Workers).
 	Threads int
 }
 
@@ -59,6 +62,10 @@ type Config struct {
 // Config.Incremental it instead keeps a per-node validity/orientation flag
 // (RAxML's "x-vector") and recomputes only the dirty nodes of a traversal
 // descriptor; see NewView, Invalidate and AttachTree.
+//
+// All per-call kernel scratch lives in a Ctx. The engine owns a primary
+// context that backs every Engine method, so single-threaded use is
+// unchanged; task-level parallelism mints extra contexts via NewCtx/NewPool.
 type Engine struct {
 	Pat   *alignment.Patterns
 	Mod   *model.Model
@@ -81,22 +88,19 @@ type Engine struct {
 	// pointer from a different tree (or a rewired ring) never compares
 	// equal, so stale entries read as invalid.
 	orient []*phylotree.Node
-	trav   []*phylotree.Node // traversal-descriptor scratch
 
-	// Scratch buffers reused across invocations.
-	pLeft, pRight  []float64 // [cat*ns*ns + i*ns + j]
-	tipPL, tipPR   []float64 // [cat*16*ns + code*ns + i]
 	underflowSites uint64
 
-	// MakeNewz Newton-iteration scratch: exp(λrt) and its first/second
-	// derivative factors per (matrix, eigenmode). Allocated once here so
-	// the per-iteration closure in MakeNewz stays allocation-free
-	// (enforced by the hotpathalloc analyzer).
-	newzE0, newzE1, newzE2 []float64
+	// ctx0 is the primary kernel context backing the Engine methods; its
+	// meter/underflow sinks are the engine's own counters.
+	ctx0 *Ctx
 
-	// Buffer pools for Views (lazy-SPR directed-vector caches).
-	lvPool [][]float64
-	scPool [][]int32
+	// Task-level parallelism state: pool, when non-nil (UsePool), executes
+	// NewView traversal descriptors wavefront-parallel. levelOf/levels are
+	// the wavefront scheduler's reusable scratch.
+	pool    *Pool
+	levelOf []int32
+	levels  [][]*phylotree.Node
 }
 
 // NewEngine allocates an engine for trees over pat's taxa with the given
@@ -150,13 +154,7 @@ func NewEngine(pat *alignment.Patterns, mod *model.Model, cfg Config) (*Engine, 
 	if cfg.SDKExp {
 		e.expFn = FastExp
 	}
-	e.pLeft = make([]float64, e.nmat*ns*ns)
-	e.pRight = make([]float64, e.nmat*ns*ns)
-	e.tipPL = make([]float64, e.nmat*16*ns)
-	e.tipPR = make([]float64, e.nmat*16*ns)
-	e.newzE0 = make([]float64, e.nmat*ns)
-	e.newzE1 = make([]float64, e.nmat*ns)
-	e.newzE2 = make([]float64, e.nmat*ns)
+	e.ctx0 = e.newPrimaryCtx()
 	return e, nil
 }
 
@@ -211,60 +209,6 @@ func (e *Engine) SetWeights(weights []int) error {
 // scaling works).
 func (e *Engine) UnderflowSites() uint64 { return e.underflowSites }
 
-// transitionMatrices fills dst (layout [cat][i][j]) with P(z·rate_c) for
-// every rate category. This is the paper's "first loop" (4-25 iterations,
-// 36 FP ops each) and the home of the exp() calls that dominated the naive
-// SPE port.
-func (e *Engine) transitionMatrices(z float64, dst []float64) {
-	g := e.Mod.GTR
-	for c := 0; c < e.nmat; c++ {
-		tr := z * e.Mod.Cats[c]
-		var expl [ns]float64
-		for k := 0; k < ns; k++ {
-			expl[k] = e.expFn(g.Lambda[k] * tr)
-		}
-		e.Meter.Exps += ns
-		e.Meter.Muls += ns // lambda*tr
-		base := c * ns * ns
-		for i := 0; i < ns; i++ {
-			for j := 0; j < ns; j++ {
-				s := 0.0
-				for k := 0; k < ns; k++ {
-					s += g.V[i][k] * expl[k] * g.VInv[k][j]
-				}
-				if s < 0 {
-					s = 0
-				}
-				dst[base+i*ns+j] = s
-			}
-		}
-		e.Meter.Muls += ns * ns * 2 * ns
-		e.Meter.Adds += ns * ns * (ns - 1)
-		e.Meter.SmallLoopIters++
-	}
-}
-
-// tipProjection fills dst (layout [cat][code][i]) with P·tipvec for all 16
-// ambiguity codes: the RAxML tip-case specialization that replaces a full
-// per-pattern matrix-vector product by a table lookup.
-func (e *Engine) tipProjection(p []float64, dst []float64) {
-	for c := 0; c < e.nmat; c++ {
-		pc := p[c*ns*ns:]
-		for code := 0; code < 16; code++ {
-			tv := &e.tipVec[code]
-			for i := 0; i < ns; i++ {
-				s := 0.0
-				for j := 0; j < ns; j++ {
-					s += pc[i*ns+j] * tv[j]
-				}
-				dst[c*16*ns+code*ns+i] = s
-			}
-		}
-	}
-	e.Meter.Muls += uint64(e.nmat * 16 * ns * ns)
-	e.Meter.Adds += uint64(e.nmat * 16 * ns * (ns - 1))
-}
-
 // NewView makes the partial likelihood vector behind the internal ring
 // record p current — the conditional likelihood of the subtree containing
 // p's two other ring members, exactly like the paper's newview() (which
@@ -276,52 +220,9 @@ func (e *Engine) tipProjection(p []float64, dst []float64) {
 // Config.Incremental the descriptor covers every internal node behind p
 // (full recomputation, the paper's measured behaviour); with it, the
 // descent stops at nodes whose cached vector is valid in the needed
-// orientation, so only the dirty path is recomputed.
-func (e *Engine) NewView(p *phylotree.Node) {
-	if p.IsTip() {
-		return
-	}
-	e.trav = e.appendTraversal(e.trav[:0], p)
-	for _, nd := range e.trav {
-		e.computeView(nd)
-	}
-}
-
-// appendTraversal builds the traversal descriptor rooted at p: the
-// postorder (children before parents) list of ring records whose views are
-// missing or cached under a different orientation.
-func (e *Engine) appendTraversal(steps []*phylotree.Node, p *phylotree.Node) []*phylotree.Node {
-	if p.IsTip() {
-		return steps
-	}
-	if e.orient != nil && e.orient[p.Index] == p {
-		e.Meter.CacheHits++
-		return steps
-	}
-	steps = e.appendTraversal(steps, p.Next.Back)
-	steps = e.appendTraversal(steps, p.Next.Next.Back)
-	return append(steps, p)
-}
-
-// computeView executes one descriptor entry: combine the two child vectors
-// of ring record p into p's slot and record the orientation.
-func (e *Engine) computeView(p *phylotree.Node) {
-	q := p.Next.Back
-	r := p.Next.Next.Back
-	var qLv, rLv []float64
-	var qScale, rScale []int32
-	if !q.IsTip() {
-		qLv, qScale = e.lv[q.Index], e.scale[q.Index]
-	}
-	if !r.IsTip() {
-		rLv, rScale = e.lv[r.Index], e.scale[r.Index]
-	}
-	e.combine(q, p.Next.Z, qLv, qScale, r, p.Next.Next.Z, rLv, rScale,
-		e.lv[p.Index], e.scale[p.Index])
-	if e.orient != nil {
-		e.orient[p.Index] = p
-	}
-}
+// orientation, so only the dirty path is recomputed. With a pool attached
+// (UsePool) the descriptor executes wavefront-parallel by dependency level.
+func (e *Engine) NewView(p *phylotree.Node) { e.ctx0.NewView(p) }
 
 // Invalidate marks the minimal dirty set after a change to the branch
 // (p, p.Back): every cached view whose subtree contains that branch — i.e.
@@ -432,7 +333,7 @@ func (e *Engine) needsScalingPure(v []float64) bool {
 // paper's evaluate(): a weighted sum over the partial likelihood vector
 // entries with the scaling counters folded back in log space.
 func (e *Engine) Evaluate(p *phylotree.Node) (float64, error) {
-	return e.evaluate(p, nil)
+	return e.ctx0.evaluate(p, nil)
 }
 
 // PerSiteLogL computes the per-pattern log likelihoods (unweighted) across
@@ -443,118 +344,8 @@ func (e *Engine) PerSiteLogL(p *phylotree.Node, dst []float64) ([]float64, error
 		dst = make([]float64, e.npat)
 	}
 	dst = dst[:e.npat]
-	if _, err := e.evaluate(p, dst); err != nil {
+	if _, err := e.ctx0.evaluate(p, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
-}
-
-func (e *Engine) evaluate(p *phylotree.Node, perSite []float64) (float64, error) {
-	q := p.Back
-	if q == nil {
-		return 0, fmt.Errorf("likelihood: Evaluate on detached branch")
-	}
-	if p.IsTip() && q.IsTip() {
-		return 0, fmt.Errorf("likelihood: tip-tip branch cannot exist in an unrooted tree with >= 3 taxa")
-	}
-	// Orient so that q is the (possibly) tip side.
-	if p.IsTip() {
-		p, q = q, p
-	}
-	e.NewView(p)
-	e.NewView(q)
-	e.Meter.EvaluateCalls++
-
-	e.transitionMatrices(p.Z, e.pLeft)
-	freqs := &e.Mod.GTR.Freqs
-	ncat := e.ncat
-
-	pLv := e.lv[p.Index]
-	pScale := e.scale[p.Index]
-	var qData []byte
-	var qLv []float64
-	var qScale []int32
-	if q.IsTip() {
-		qData = e.Pat.Data[q.Index]
-		e.tipProjection(e.pLeft, e.tipPR)
-	} else {
-		qLv = e.lv[q.Index]
-		qScale = e.scale[q.Index]
-	}
-
-	work := func(pr patRange) (float64, combineStats, uint64) {
-		var st combineStats
-		var underflow uint64
-		sum := 0.0
-		for pat := pr.lo; pat < pr.hi; pat++ {
-			base := pat * ncat * ns
-			site := 0.0
-			for c := 0; c < ncat; c++ {
-				mi := e.matIdx(pat, c)
-				x := pLv[base+c*ns:]
-				var proj [ns]float64
-				if qData != nil {
-					code := qData[pat] & 0x0f
-					copy(proj[:], e.tipPR[mi*16*ns+int(code)*ns:][:ns])
-				} else {
-					pc := e.pLeft[mi*ns*ns:]
-					y := qLv[base+c*ns:]
-					for i := 0; i < ns; i++ {
-						proj[i] = pc[i*ns]*y[0] + pc[i*ns+1]*y[1] + pc[i*ns+2]*y[2] + pc[i*ns+3]*y[3]
-					}
-					st.muls += ns * ns
-					st.adds += ns * (ns - 1)
-				}
-				for i := 0; i < ns; i++ {
-					site += freqs[i] * x[i] * proj[i]
-				}
-				st.muls += 2 * ns
-				st.adds += ns
-			}
-			site *= e.invCats
-			st.muls++
-			sc := pScale[pat]
-			if qScale != nil {
-				sc += qScale[pat]
-			}
-			if site <= 0 || math.IsNaN(site) {
-				underflow++
-				site = math.SmallestNonzeroFloat64
-			}
-			siteLog := math.Log(site) + float64(sc)*logMinLik
-			if perSite != nil {
-				perSite[pat] = siteLog
-			}
-			sum += float64(e.Pat.Weights[pat]) * siteLog
-			st.bigIters++ // doubles as the per-pattern log count here
-			st.muls += 2
-			st.adds += 2
-		}
-		return sum, st, underflow
-	}
-
-	logL := 0.0
-	var total combineStats
-	var underflow uint64
-	if e.parallel() {
-		ranges := e.splitPatterns()
-		sums := make([]float64, len(ranges))
-		stats := make([]combineStats, len(ranges))
-		unders := make([]uint64, len(ranges))
-		e.runParallel(ranges, func(pr patRange, slot int) {
-			sums[slot], stats[slot], unders[slot] = work(pr)
-		})
-		for i := range sums {
-			logL += sums[i]
-			total.add(stats[i])
-			underflow += unders[i]
-		}
-	} else {
-		logL, total, underflow = work(patRange{0, e.npat})
-	}
-	e.Meter.Muls += total.muls
-	e.Meter.Adds += total.adds
-	e.Meter.Logs += total.bigIters
-	e.underflowSites += underflow
-	return logL, nil
 }

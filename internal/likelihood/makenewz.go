@@ -25,6 +25,19 @@ const newtonTol = 1e-9
 // length is written back to the branch and returned together with the
 // log-likelihood at the optimum.
 func (e *Engine) MakeNewz(p *phylotree.Node) (float64, float64, error) {
+	return e.ctx0.MakeNewz(p)
+}
+
+// MakeNewz is the context-scoped form of Engine.MakeNewz. All Newton
+// scratch (sum table, λr products, exponential blocks) is per-context, so
+// the solver itself never aliases across contexts; note however that it
+// recomputes the shared per-node vectors (NewView) and writes the branch
+// length back into the shared tree, so concurrent calls on one engine are
+// only safe when the caller guarantees the touched regions are disjoint.
+// The concurrency-safe scoring path is Views.InsertionScore, which runs
+// the same Newton core against private buffers.
+func (c *Ctx) MakeNewz(p *phylotree.Node) (float64, float64, error) {
+	e := c.eng
 	q := p.Back
 	if q == nil {
 		return 0, 0, fmt.Errorf("likelihood: MakeNewz on detached branch")
@@ -39,9 +52,9 @@ func (e *Engine) MakeNewz(p *phylotree.Node) (float64, float64, error) {
 	// branch (p, q): the traversal recomputes exactly the mis-oriented
 	// nodes, so the final SetZ below only dirties views the Invalidate
 	// walk actually finds stale.
-	e.NewView(p)
-	e.NewView(q)
-	e.Meter.MakenewzCalls++
+	c.NewView(p)
+	c.NewView(q)
+	c.meter.MakenewzCalls++
 	zEntry := p.Z
 
 	g := e.Mod.GTR
@@ -49,7 +62,7 @@ func (e *Engine) MakeNewz(p *phylotree.Node) (float64, float64, error) {
 
 	// Build the sum table A[pat][c][k] and the constant per-pattern scaling
 	// offsets (independent of t).
-	sumTab := make([]float64, e.npat*ncat*ns)
+	sumTab := c.sumTab
 	scaleConst := 0.0
 
 	pLv := e.lv[p.Index]
@@ -72,13 +85,13 @@ func (e *Engine) MakeNewz(p *phylotree.Node) (float64, float64, error) {
 			sc += qScale[pat]
 		}
 		scaleConst += float64(e.Pat.Weights[pat]) * float64(sc) * logMinLik
-		for c := 0; c < ncat; c++ {
-			x := pLv[base+c*ns:]
+		for cat := 0; cat < ncat; cat++ {
+			x := pLv[base+cat*ns:]
 			var y [ns]float64
 			if qData != nil {
 				y = e.tipVec[qData[pat]&0x0f]
 			} else {
-				copy(y[:], qLv[base+c*ns:][:ns])
+				copy(y[:], qLv[base+cat*ns:][:ns])
 			}
 			for k := 0; k < ns; k++ {
 				a := 0.0
@@ -87,46 +100,46 @@ func (e *Engine) MakeNewz(p *phylotree.Node) (float64, float64, error) {
 					a += g.Freqs[i] * x[i] * g.V[i][k]
 					b += g.VInv[k][i] * y[i]
 				}
-				sumTab[base+c*ns+k] = a * b
+				sumTab[base+cat*ns+k] = a * b
 			}
 			muls += ns * (2*ns + ns + 1)
 			adds += ns * 2 * (ns - 1)
 		}
 	}
-	e.Meter.Muls += muls
-	e.Meter.Adds += adds
+	c.meter.Muls += muls
+	c.meter.Adds += adds
 
 	// lamr[matrix][k] = λ_k · r_c, one block per distinct rate category.
-	lamr := make([]float64, e.nmat*ns)
-	for c := 0; c < e.nmat; c++ {
+	lamr := c.lamr
+	for cat := 0; cat < e.nmat; cat++ {
 		for k := 0; k < ns; k++ {
-			lamr[c*ns+k] = g.Lambda[k] * e.Mod.Cats[c]
+			lamr[cat*ns+k] = g.Lambda[k] * e.Mod.Cats[cat]
 		}
 	}
-	e.Meter.Muls += uint64(e.nmat * ns)
+	c.meter.Muls += uint64(e.nmat * ns)
 
 	weights := e.Pat.Weights
 	// likelihoodAt evaluates logL, dlogL/dt and d2logL/dt2 at t.
 	likelihoodAt := func(t float64) (ll, d1, d2 float64) {
-		// e0 = exp(λrt), e1 = λr·exp, e2 = (λr)²·exp; engine-owned
+		// e0 = exp(λrt), e1 = λr·exp, e2 = (λr)²·exp; context-owned
 		// scratch, since this closure runs once per Newton iteration.
-		e0, e1, e2 := e.newzE0, e.newzE1, e.newzE2
+		e0, e1, e2 := c.newzE0, c.newzE1, c.newzE2
 		for i, lr := range lamr {
 			ex := e.expFn(lr * t)
 			e0[i] = ex
 			e1[i] = lr * ex
 			e2[i] = lr * lr * ex
 		}
-		e.Meter.Exps += uint64(e.nmat * ns)
-		e.Meter.Muls += uint64(3 * e.nmat * ns)
-		ll, d1, d2 = e.newtonReduce(sumTab, e0, e1, e2, weights)
+		c.meter.Exps += uint64(e.nmat * ns)
+		c.meter.Muls += uint64(3 * e.nmat * ns)
+		ll, d1, d2 = c.newtonReduce(sumTab, e0, e1, e2, weights)
 		return ll + scaleConst, d1, d2
 	}
 
 	t := p.Z
 	bestT, bestLL := t, math.Inf(-1)
 	for iter := 0; iter < newtonMaxIter; iter++ {
-		e.Meter.NewtonIters++
+		c.meter.NewtonIters++
 		ll, d1, d2 := likelihoodAt(t)
 		if ll > bestLL {
 			bestLL, bestT = ll, t

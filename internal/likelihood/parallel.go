@@ -84,7 +84,8 @@ func (e *Engine) runParallel(ranges []patRange, fn func(r patRange, slot int)) {
 // iteration from a sum table and the per-matrix exponential blocks — the
 // reduction shared by MakeNewz and the lazy-SPR scorer, parallelized over
 // patterns when the engine is threaded.
-func (e *Engine) newtonReduce(sumTab, e0, e1, e2 []float64, weights []int) (ll, d1, d2 float64) {
+func (c *Ctx) newtonReduce(sumTab, e0, e1, e2 []float64, weights []int) (ll, d1, d2 float64) {
+	e := c.eng
 	ncat := e.ncat
 	work := func(pr patRange) (sll, sd1, sd2 float64, underflow, logs uint64) {
 		for pat := pr.lo; pat < pr.hi; pat++ {
@@ -137,9 +138,9 @@ func (e *Engine) newtonReduce(sumTab, e0, e1, e2 []float64, weights []int) (ll, 
 	} else {
 		ll, d1, d2, underflow, logs = work(patRange{0, e.npat})
 	}
-	e.underflowSites += underflow
-	e.Meter.Logs += logs
-	e.Meter.Muls += uint64(3*e.npat*ncat*ns + 3*e.nmat*ns)
-	e.Meter.Adds += uint64(3 * e.npat * ncat * ns)
+	*c.underflow += underflow
+	c.meter.Logs += logs
+	c.meter.Muls += uint64(3*e.npat*ncat*ns + 3*e.nmat*ns)
+	c.meter.Adds += uint64(3 * e.npat * ncat * ns)
 	return ll, d1, d2
 }

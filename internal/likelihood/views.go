@@ -15,53 +15,62 @@ import (
 // cached vectors instead of recomputing the whole tree.
 //
 // A Views must be discarded as soon as the tree's topology or any branch
-// length changes.
+// length changes. A Views is bound to one kernel context and inherits its
+// (lack of) concurrency: concurrent scoring uses one Views per worker
+// context (see Pool), never one Views from several goroutines.
 type Views struct {
-	eng   *Engine
+	ctx   *Ctx
 	lv    map[*phylotree.Node][]float64
 	scale map[*phylotree.Node][]int32
 }
 
-// NewViews creates an empty view table over the engine's current model.
-func (e *Engine) NewViews() *Views {
+// NewViews creates an empty view table over the engine's current model,
+// bound to the engine's primary context.
+func (e *Engine) NewViews() *Views { return e.ctx0.NewViews() }
+
+// NewViews creates an empty view table bound to this context: its vectors
+// are computed with the context's scratch and pooled in the context's
+// buffer pools, so tables of different contexts never share mutable state.
+func (c *Ctx) NewViews() *Views {
 	return &Views{
-		eng:   e,
+		ctx:   c,
 		lv:    make(map[*phylotree.Node][]float64),
 		scale: make(map[*phylotree.Node][]int32),
 	}
 }
 
-// Release returns all cached buffers to the engine's pool.
+// Release returns all cached buffers to the owning context's pool.
 func (v *Views) Release() {
 	for r, buf := range v.lv {
-		v.eng.lvPool = append(v.eng.lvPool, buf)
+		v.ctx.lvPool = append(v.ctx.lvPool, buf)
 		delete(v.lv, r)
 	}
 	for r, sc := range v.scale {
-		v.eng.scPool = append(v.eng.scPool, sc)
+		v.ctx.scPool = append(v.ctx.scPool, sc)
 		delete(v.scale, r)
 	}
 }
 
-func (e *Engine) getLvBuf() []float64 {
-	if n := len(e.lvPool); n > 0 {
-		b := e.lvPool[n-1]
-		e.lvPool = e.lvPool[:n-1]
+func (c *Ctx) getLvBuf() []float64 {
+	if n := len(c.lvPool); n > 0 {
+		b := c.lvPool[n-1]
+		c.lvPool = c.lvPool[:n-1]
 		return b
 	}
+	e := c.eng
 	return make([]float64, e.npat*e.ncat*ns)
 }
 
-func (e *Engine) getScBuf() []int32 {
-	if n := len(e.scPool); n > 0 {
-		b := e.scPool[n-1]
-		e.scPool = e.scPool[:n-1]
+func (c *Ctx) getScBuf() []int32 {
+	if n := len(c.scPool); n > 0 {
+		b := c.scPool[n-1]
+		c.scPool = c.scPool[:n-1]
 		for i := range b {
 			b[i] = 0
 		}
 		return b
 	}
-	return make([]int32, e.npat)
+	return make([]int32, c.eng.npat)
 }
 
 // Vector returns the partial likelihood vector and scale counts of the
@@ -88,9 +97,9 @@ func (v *Views) Vector(r *phylotree.Node) ([]float64, []int32, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	dst := v.eng.getLvBuf()
-	dsc := v.eng.getScBuf()
-	v.eng.combine(q, r.Next.Z, qLv, qSc, w, r.Next.Next.Z, wLv, wSc, dst, dsc)
+	dst := v.ctx.getLvBuf()
+	dsc := v.ctx.getScBuf()
+	v.ctx.combine(q, r.Next.Z, qLv, qSc, w, r.Next.Next.Z, wLv, wSc, dst, dsc)
 	v.lv[r] = dst
 	v.scale[r] = dsc
 	return dst, dsc, nil
@@ -99,28 +108,29 @@ func (v *Views) Vector(r *phylotree.Node) ([]float64, []int32, error) {
 // combine is the core of newview factored over explicit child buffers:
 // child vectors may come from the engine's per-node table, a Views cache,
 // or (nil for tips) the pattern data of the child's taxon.
-func (e *Engine) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int32,
+func (c *Ctx) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int32,
 	r *phylotree.Node, zr float64, rLv []float64, rSc []int32,
 	dst []float64, dstScale []int32) {
 
-	e.Meter.NewviewCalls++
-	e.transitionMatrices(zq, e.pLeft)
-	e.transitionMatrices(zr, e.pRight)
+	e := c.eng
+	c.meter.NewviewCalls++
+	c.transitionMatrices(zq, c.pLeft)
+	c.transitionMatrices(zr, c.pRight)
 
 	qTip, rTip := q.IsTip(), r.IsTip()
 	switch {
 	case qTip && rTip:
-		e.Meter.TipTipCalls++
+		c.meter.TipTipCalls++
 	case qTip || rTip:
-		e.Meter.TipInnerCalls++
+		c.meter.TipInnerCalls++
 	default:
-		e.Meter.InnerInnerCalls++
+		c.meter.InnerInnerCalls++
 	}
 	if qTip {
-		e.tipProjection(e.pLeft, e.tipPL)
+		c.tipProjection(c.pLeft, c.tipPL)
 	}
 	if rTip {
-		e.tipProjection(e.pRight, e.tipPR)
+		c.tipProjection(c.pRight, c.tipPR)
 	}
 	var qData, rData []byte
 	if qTip {
@@ -135,15 +145,15 @@ func (e *Engine) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int
 		var st combineStats
 		for pat := pr.lo; pat < pr.hi; pat++ {
 			base := pat * ncat * ns
-			for c := 0; c < ncat; c++ {
-				mi := e.matIdx(pat, c)
+			for cat := 0; cat < ncat; cat++ {
+				mi := e.matIdx(pat, cat)
 				var left, right [ns]float64
 				if qTip {
 					code := qData[pat] & 0x0f
-					copy(left[:], e.tipPL[mi*16*ns+int(code)*ns:][:ns])
+					copy(left[:], c.tipPL[mi*16*ns+int(code)*ns:][:ns])
 				} else {
-					pc := e.pLeft[mi*ns*ns:]
-					x := qLv[base+c*ns:]
+					pc := c.pLeft[mi*ns*ns:]
+					x := qLv[base+cat*ns:]
 					for i := 0; i < ns; i++ {
 						left[i] = pc[i*ns]*x[0] + pc[i*ns+1]*x[1] + pc[i*ns+2]*x[2] + pc[i*ns+3]*x[3]
 					}
@@ -152,10 +162,10 @@ func (e *Engine) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int
 				}
 				if rTip {
 					code := rData[pat] & 0x0f
-					copy(right[:], e.tipPR[mi*16*ns+int(code)*ns:][:ns])
+					copy(right[:], c.tipPR[mi*16*ns+int(code)*ns:][:ns])
 				} else {
-					pc := e.pRight[mi*ns*ns:]
-					x := rLv[base+c*ns:]
+					pc := c.pRight[mi*ns*ns:]
+					x := rLv[base+cat*ns:]
 					for i := 0; i < ns; i++ {
 						right[i] = pc[i*ns]*x[0] + pc[i*ns+1]*x[1] + pc[i*ns+2]*x[2] + pc[i*ns+3]*x[3]
 					}
@@ -163,7 +173,7 @@ func (e *Engine) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int
 					st.adds += ns * (ns - 1)
 				}
 				for i := 0; i < ns; i++ {
-					dst[base+c*ns+i] = left[i] * right[i]
+					dst[base+cat*ns+i] = left[i] * right[i]
 				}
 				st.muls += ns
 			}
@@ -203,11 +213,11 @@ func (e *Engine) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int
 	} else {
 		total = work(patRange{0, e.npat})
 	}
-	e.Meter.Muls += total.muls
-	e.Meter.Adds += total.adds
-	e.Meter.BigLoopIters += total.bigIters
-	e.Meter.ScaleChecks += total.scaleChecks
-	e.Meter.ScaleEvents += total.scaleEvents
+	c.meter.Muls += total.muls
+	c.meter.Adds += total.adds
+	c.meter.BigLoopIters += total.bigIters
+	c.meter.ScaleChecks += total.scaleChecks
+	c.meter.ScaleEvents += total.scaleEvents
 	bytesPerVec := uint64(e.npat * ncat * ns * 8)
 	n := uint64(1)
 	if !qTip {
@@ -216,7 +226,7 @@ func (e *Engine) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int
 	if !rTip {
 		n++
 	}
-	e.Meter.BytesStreamed += n * bytesPerVec
+	c.meter.BytesStreamed += n * bytesPerVec
 }
 
 // InsertionScore evaluates the lazy-SPR score of regrafting a pruned
@@ -225,7 +235,9 @@ func (e *Engine) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int
 // views, and only the subtree's own branch length is optimized by
 // Newton-Raphson (RAxML's "lazy" evaluation). sub is the detached ring
 // record holding the subtree behind sub.Back; z0 is the starting branch
-// length. The tree itself is not modified.
+// length. The tree itself is not modified, and neither is any engine-level
+// table — concurrent calls are safe when every goroutine scores through
+// its own context's Views.
 func (v *Views) InsertionScore(cand *phylotree.Node, sub *phylotree.Node, z0 float64) (bestZ, logL float64, err error) {
 	if cand.Back == nil {
 		return 0, 0, fmt.Errorf("likelihood: candidate edge is detached")
@@ -234,7 +246,7 @@ func (v *Views) InsertionScore(cand *phylotree.Node, sub *phylotree.Node, z0 flo
 	if s == nil {
 		return 0, 0, fmt.Errorf("likelihood: pruned subtree has no root")
 	}
-	e := v.eng
+	c := v.ctx
 
 	aLv, aSc, err := v.Vector(cand)
 	if err != nil {
@@ -245,14 +257,14 @@ func (v *Views) InsertionScore(cand *phylotree.Node, sub *phylotree.Node, z0 flo
 		return 0, 0, err
 	}
 	// Virtual node x over the split candidate branch.
-	xLv := e.getLvBuf()
-	xSc := e.getScBuf()
+	xLv := c.getLvBuf()
+	xSc := c.getScBuf()
 	defer func() {
-		e.lvPool = append(e.lvPool, xLv)
-		e.scPool = append(e.scPool, xSc)
+		c.lvPool = append(c.lvPool, xLv)
+		c.scPool = append(c.scPool, xSc)
 	}()
 	half := cand.Z / 2
-	e.combine(cand, half, aLv, aSc, cand.Back, half, bLv, bSc, xLv, xSc)
+	c.combine(cand, half, aLv, aSc, cand.Back, half, bLv, bSc, xLv, xSc)
 
 	// Subtree-side vector: viewed through the subtree root record s, whose
 	// children live inside the pruned subtree.
@@ -260,18 +272,20 @@ func (v *Views) InsertionScore(cand *phylotree.Node, sub *phylotree.Node, z0 flo
 	if err != nil {
 		return 0, 0, err
 	}
-	return e.newtonOnBranch(xLv, xSc, s, sLv, sSc, z0)
+	return c.newtonOnBranch(xLv, xSc, s, sLv, sSc, z0)
 }
 
 // newtonOnBranch optimizes the branch length between an explicit vector
 // (pLv/pSc) and a node side given by (q, qLv, qSc) — q may be a tip (qLv
-// nil). It is the sum-table core of MakeNewz reused by the lazy SPR path.
-func (e *Engine) newtonOnBranch(pLv []float64, pSc []int32, q *phylotree.Node, qLv []float64, qSc []int32, z0 float64) (float64, float64, error) {
-	e.Meter.MakenewzCalls++
+// nil). It is the sum-table core of MakeNewz reused by the lazy SPR path,
+// running entirely on context-owned scratch.
+func (c *Ctx) newtonOnBranch(pLv []float64, pSc []int32, q *phylotree.Node, qLv []float64, qSc []int32, z0 float64) (float64, float64, error) {
+	e := c.eng
+	c.meter.MakenewzCalls++
 	g := e.Mod.GTR
 	ncat := e.ncat
 
-	sumTab := make([]float64, e.npat*ncat*ns)
+	sumTab := c.sumTab
 	scaleConst := 0.0
 	var qData []byte
 	if q.IsTip() {
@@ -284,13 +298,13 @@ func (e *Engine) newtonOnBranch(pLv []float64, pSc []int32, q *phylotree.Node, q
 			sc += qSc[pat]
 		}
 		scaleConst += float64(e.Pat.Weights[pat]) * float64(sc) * logMinLik
-		for c := 0; c < ncat; c++ {
-			x := pLv[base+c*ns:]
+		for cat := 0; cat < ncat; cat++ {
+			x := pLv[base+cat*ns:]
 			var y [ns]float64
 			if qData != nil {
 				y = e.tipVec[qData[pat]&0x0f]
 			} else {
-				copy(y[:], qLv[base+c*ns:][:ns])
+				copy(y[:], qLv[base+cat*ns:][:ns])
 			}
 			for k := 0; k < ns; k++ {
 				a, b := 0.0, 0.0
@@ -298,40 +312,40 @@ func (e *Engine) newtonOnBranch(pLv []float64, pSc []int32, q *phylotree.Node, q
 					a += g.Freqs[i] * x[i] * g.V[i][k]
 					b += g.VInv[k][i] * y[i]
 				}
-				sumTab[base+c*ns+k] = a * b
+				sumTab[base+cat*ns+k] = a * b
 			}
 		}
 	}
-	e.Meter.Muls += uint64(e.npat * ncat * ns * (3*ns + 1))
-	e.Meter.Adds += uint64(e.npat * ncat * ns * 2 * (ns - 1))
+	c.meter.Muls += uint64(e.npat * ncat * ns * (3*ns + 1))
+	c.meter.Adds += uint64(e.npat * ncat * ns * 2 * (ns - 1))
 
-	lamr := make([]float64, e.nmat*ns)
-	for c := 0; c < e.nmat; c++ {
+	lamr := c.lamr
+	for cat := 0; cat < e.nmat; cat++ {
 		for k := 0; k < ns; k++ {
-			lamr[c*ns+k] = g.Lambda[k] * e.Mod.Cats[c]
+			lamr[cat*ns+k] = g.Lambda[k] * e.Mod.Cats[cat]
 		}
 	}
 
 	weights := e.Pat.Weights
 	likelihoodAt := func(t float64) (ll, d1, d2 float64) {
-		e0 := make([]float64, e.nmat*ns)
-		e1 := make([]float64, e.nmat*ns)
-		e2 := make([]float64, e.nmat*ns)
+		// Context-owned exponential blocks: this closure runs once per
+		// Newton iteration and must stay allocation-free.
+		e0, e1, e2 := c.newzE0, c.newzE1, c.newzE2
 		for i, lr := range lamr {
 			ex := e.expFn(lr * t)
 			e0[i] = ex
 			e1[i] = lr * ex
 			e2[i] = lr * lr * ex
 		}
-		e.Meter.Exps += uint64(e.nmat * ns)
-		ll, d1, d2 = e.newtonReduce(sumTab, e0, e1, e2, weights)
+		c.meter.Exps += uint64(e.nmat * ns)
+		ll, d1, d2 = c.newtonReduce(sumTab, e0, e1, e2, weights)
 		return ll + scaleConst, d1, d2
 	}
 
 	t := z0
 	bestT, bestLL := t, math.Inf(-1)
 	for iter := 0; iter < newtonMaxIter; iter++ {
-		e.Meter.NewtonIters++
+		c.meter.NewtonIters++
 		ll, d1, d2 := likelihoodAt(t)
 		if ll > bestLL {
 			bestLL, bestT = ll, t

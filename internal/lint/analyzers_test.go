@@ -29,6 +29,10 @@ func TestHotPathAllocGolden(t *testing.T) {
 	linttest.Run(t, lint.HotPathAlloc, "raxmlcell/internal/likelihood", "testdata/hotpathalloc")
 }
 
+func TestHotPathAllocSearchGolden(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "raxmlcell/internal/search", "testdata/hotpathalloc/search")
+}
+
 func TestFloatCmpGolden(t *testing.T) {
 	linttest.Run(t, lint.FloatCmp, "raxmlcell/internal/model", "testdata/floatcmp")
 }
@@ -78,7 +82,8 @@ func TestAnalyzerScopes(t *testing.T) {
 		{lint.InvalidatePair, "raxmlcell/internal/core", true},
 		{lint.InvalidatePair, "raxmlcell/internal/sim", false},
 		{lint.HotPathAlloc, "raxmlcell/internal/likelihood", true},
-		{lint.HotPathAlloc, "raxmlcell/internal/search", false},
+		{lint.HotPathAlloc, "raxmlcell/internal/search", true},
+		{lint.HotPathAlloc, "raxmlcell/internal/core", false},
 	}
 	for _, c := range cases {
 		if got := c.a.Match(c.path); got != c.want {

@@ -16,11 +16,18 @@ import (
 // FastExp) rather than math.Exp directly, or the SDK-exp instruction-mix
 // experiments measure the wrong code.
 //
+// The search hot loop is in scope too: an SPR round prunes every subtree
+// and scores every regraft candidate, so a slice reallocated per round (the
+// candidate list, the score table) churns the heap tens of thousands of
+// times per inference. Those buffers belong on the per-search context
+// (searchCtx), reused across rounds.
+//
 // Inside functions whose name contains combine/newview/makenewz/evaluate/
-// fastexp (case-insensitive), the analyzer reports:
+// fastexp/spr/nni/insertion (case-insensitive), the analyzer reports:
 //
 //   - make(), append(), new() and slice/map composite literals inside any
-//     loop — preallocate scratch buffers on the Engine instead;
+//     loop — preallocate scratch buffers on the Engine (kernels) or the
+//     searchCtx (search rounds) instead;
 //   - the same allocations inside a nested func literal: kernel closures
 //     run once per Newton iteration or per pattern range, so their
 //     allocations are per-iteration too;
@@ -28,14 +35,14 @@ import (
 //   - math.Exp calls anywhere in the kernel.
 var HotPathAlloc = &Analyzer{
 	Name: "hotpathalloc",
-	Doc:  "report per-pattern-loop allocations and raw math.Exp in the likelihood kernels",
+	Doc:  "report per-pattern-loop allocations and raw math.Exp in the likelihood kernels and search rounds",
 	Match: func(pkgPath string) bool {
-		return pathHasAny(pkgPath, "internal/likelihood")
+		return pathHasAny(pkgPath, "internal/likelihood", "internal/search")
 	},
 	Run: runHotPathAlloc,
 }
 
-var hotFuncFragments = []string{"combine", "newview", "makenewz", "evaluate", "fastexp"}
+var hotFuncFragments = []string{"combine", "newview", "makenewz", "evaluate", "fastexp", "spr", "nni", "insertion"}
 
 func isHotFuncName(name string) bool {
 	lower := strings.ToLower(name)

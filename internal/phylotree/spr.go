@@ -144,7 +144,13 @@ func SubtreeTips(nd *Node, out []int) []int {
 // within the given node radius, excluding the origin branch itself. It is
 // the move-set enumeration for RAxML's rearrangement-radius-bounded SPR.
 func RadiusEdges(origin *Node, radius int) []*Node {
-	var out []*Node
+	return RadiusEdgesInto(nil, origin, radius)
+}
+
+// RadiusEdgesInto is RadiusEdges appending into a caller-supplied buffer,
+// so the per-prune enumeration of the SPR hot loop can reuse one slice
+// instead of reallocating the candidate set for every pruned subtree.
+func RadiusEdgesInto(out []*Node, origin *Node, radius int) []*Node {
 	var walk func(nd *Node, depth int)
 	walk = func(nd *Node, depth int) {
 		if depth > radius || nd == nil {

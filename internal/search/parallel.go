@@ -1,0 +1,197 @@
+package search
+
+import (
+	"math"
+
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/obs"
+	"raxmlcell/internal/phylotree"
+)
+
+// The paper layers task-level parallelism (EDTLP, and at scale MGPS) on
+// top of the loop-level parallelism inside each kernel: independent
+// likelihood tasks run concurrently on different SPEs. This file is the
+// search-side half of that axis — the regraft candidates of one pruned
+// subtree are independent read-only queries against the frozen tree, so
+// they fan out over a likelihood.Pool, each worker scoring through its own
+// context-bound Views. The other half (wavefront traversal execution)
+// lives in the likelihood package and reuses the same pool.
+
+// minParallelCandidates is the smallest candidate count worth fanning out;
+// below it the per-fanout overhead (goroutine spawn, per-worker view
+// warm-up of the shared path to the root) exceeds the win.
+const minParallelCandidates = 4
+
+// candScore is one scored insertion candidate. ok marks candidates that
+// were actually scored (detached edges are skipped, mirroring the serial
+// loop's continue).
+type candScore struct {
+	z, ll float64
+	ok    bool
+	err   error
+}
+
+// searchCtx carries the task-parallel state of one search: the worker pool
+// (nil = serial), per-worker view tables, reusable candidate/score buffers
+// (hoisted out of the SPR hot loop — see the hotpathalloc analyzer), and
+// live metric handles.
+type searchCtx struct {
+	pool  *likelihood.Pool
+	views []*likelihood.Views
+
+	cands  []*phylotree.Node
+	scores []candScore
+
+	// roundParallel records whether the current round used the pool at
+	// least once; rounds whose prunes all fell under minParallelCandidates
+	// do not count as parallel.
+	roundParallel bool
+
+	candidatesScored *obs.Counter
+	parallelRounds   *obs.Counter
+}
+
+// newSearchCtx builds the per-search state from the options: a worker pool
+// with per-worker view tables when opt.Workers > 1 (also installed as the
+// engine's wavefront executor), and metric handles when opt.Metrics is set.
+func newSearchCtx(eng *likelihood.Engine, opt Options) *searchCtx {
+	sc := &searchCtx{}
+	if opt.Metrics != nil {
+		sc.candidatesScored = opt.Metrics.Counter("search.candidates_scored")
+		sc.parallelRounds = opt.Metrics.Counter("search.parallel_rounds")
+	}
+	if opt.Workers > 1 {
+		sc.pool = eng.NewPool(opt.Workers)
+		eng.UsePool(sc.pool)
+		sc.views = make([]*likelihood.Views, sc.pool.Workers())
+		if opt.Metrics != nil {
+			opt.Metrics.Gauge("search.pool_workers").Set(float64(sc.pool.Workers()))
+			busy := opt.Metrics.Gauge("search.pool_busy")
+			sc.pool.OnOccupancy = func(b, _ int) { busy.Set(float64(b)) }
+		}
+	}
+	return sc
+}
+
+// close detaches the pool from the engine; the search installed it, so the
+// search removes it before handing the engine back to the caller.
+func (sc *searchCtx) close(eng *likelihood.Engine) {
+	if sc.pool != nil {
+		eng.UsePool(nil)
+		if sc.candidatesScored != nil {
+			sc.pool.OnOccupancy = nil
+		}
+	}
+}
+
+// scoreInsertions fills sc.scores with the lazy insertion score of every
+// candidate edge for the pruned subtree behind sub (starting branch length
+// z0). With a pool it fans the candidates out, each worker scoring through
+// its own context's Views; serially it scores through one shared Views in
+// candidate order, exactly like the pre-parallel code. Either way the
+// returned slice is indexed by candidate, so the caller's reduction — and
+// therefore the chosen move — is independent of scheduling. The first
+// error in candidate order wins, matching the serial early-exit.
+func (sc *searchCtx) scoreInsertions(eng *likelihood.Engine, cands []*phylotree.Node, sub *phylotree.Node, z0 float64) ([]candScore, error) {
+	if sc.candidatesScored != nil {
+		sc.candidatesScored.Add(uint64(len(cands)))
+	}
+	if cap(sc.scores) < len(cands) {
+		sc.scores = make([]candScore, len(cands))
+	}
+	scores := sc.scores[:len(cands)]
+	for i := range scores {
+		scores[i] = candScore{}
+	}
+
+	if sc.pool == nil || len(cands) < minParallelCandidates {
+		views := eng.NewViews()
+		for i, cand := range cands {
+			if cand.Back == nil {
+				continue
+			}
+			z, ll, err := views.InsertionScore(cand, sub, z0)
+			if err != nil {
+				views.Release()
+				return nil, err
+			}
+			scores[i] = candScore{z: z, ll: ll, ok: true}
+		}
+		views.Release()
+		return scores, nil
+	}
+
+	sc.roundParallel = true
+	for w := range sc.views {
+		sc.views[w] = sc.pool.Ctx(w).NewViews()
+	}
+	sc.pool.Run(len(cands), func(w, i int) {
+		cand := cands[i]
+		if cand.Back == nil {
+			return
+		}
+		z, ll, err := sc.views[w].InsertionScore(cand, sub, z0)
+		scores[i] = candScore{z: z, ll: ll, ok: err == nil, err: err}
+	})
+	for w := range sc.views {
+		sc.views[w].Release()
+		sc.views[w] = nil
+	}
+	for i := range scores {
+		if scores[i].err != nil {
+			return nil, scores[i].err
+		}
+	}
+	return scores, nil
+}
+
+// bestCandidate is the SPR winner reduction: the highest log-likelihood
+// among the scored candidates, ties broken by lowest candidate index (the
+// strictly-greater comparison in index order — byte-identical to the
+// serial loop's choice). Returns index -1 when nothing was scored.
+func bestCandidate(scores []candScore, z0 float64) (bestIdx int, bestZ, bestLL float64) {
+	bestIdx, bestZ, bestLL = -1, z0, math.Inf(-1)
+	for i := range scores {
+		if scores[i].ok && scores[i].ll > bestLL {
+			bestIdx, bestZ, bestLL = i, scores[i].z, scores[i].ll
+		}
+	}
+	return bestIdx, bestZ, bestLL
+}
+
+// bestNNICandidate is the NNI reduction: replay the serial acceptance
+// chain — a candidate displaces the incumbent only when it gains more than
+// eps over it, starting from the current likelihood — in candidate order,
+// so the pooled scoring pass picks exactly the move the serial loop would.
+func bestNNICandidate(scores []candScore, z0, current, eps float64) (bestIdx int, bestZ, bestLL float64) {
+	bestIdx, bestZ, bestLL = -1, z0, current
+	for i := range scores {
+		if scores[i].ok && scores[i].ll > bestLL+eps {
+			bestIdx, bestZ, bestLL = i, scores[i].z, scores[i].ll
+		}
+	}
+	return bestIdx, bestZ, bestLL
+}
+
+// finishRound publishes the per-round parallelism accounting and resets it.
+func (sc *searchCtx) finishRound() {
+	if sc.roundParallel && sc.parallelRounds != nil {
+		sc.parallelRounds.Inc()
+	}
+	sc.roundParallel = false
+}
+
+// appendNNITargets collects the NNI candidate branches around v: the two
+// branches hanging off v's ring besides v itself (after pruning, these are
+// the re-insertion points of the swapped subtree). Records touching the
+// pruned ring sub are excluded, mirroring the old scoring-loop guard.
+func appendNNITargets(out []*phylotree.Node, v, sub *phylotree.Node) []*phylotree.Node {
+	ring := v.Ring()
+	if r := ring[1]; r != sub && r.Back != nil && r.Back != sub {
+		out = append(out, r)
+	}
+	if r := ring[2]; r != sub && r.Back != nil && r.Back != sub {
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/obs"
+	"raxmlcell/internal/parsimony"
+	"raxmlcell/internal/phylotree"
+	"raxmlcell/internal/seqsim"
+)
+
+// TestBestCandidateTieBreak pins the deterministic winner selection: the
+// highest log-likelihood wins, and an exact tie goes to the lowest
+// candidate index — the strictly-greater scan in index order that makes the
+// pooled reduction byte-identical to the serial loop's choice.
+func TestBestCandidateTieBreak(t *testing.T) {
+	scores := []candScore{
+		{z: 0.1, ll: -50, ok: true},
+		{z: 0.2, ll: -40, ok: true}, // first of the tied best
+		{z: 0.3, ll: -40, ok: true}, // tied, higher index: must lose
+		{z: 0.4, ll: -45, ok: true},
+		{z: 0.5, ll: -30, ok: false}, // unscored (detached edge): ignored
+	}
+	idx, z, ll := bestCandidate(scores, 0.9)
+	if idx != 1 || math.Abs(z-0.2) > 0 || math.Abs(ll-(-40)) > 0 {
+		t.Errorf("got (idx=%d z=%g ll=%g), want (1, 0.2, -40)", idx, z, ll)
+	}
+
+	// Nothing scored: index -1, fallback z0.
+	idx, z, _ = bestCandidate([]candScore{{ok: false}, {ok: false}}, 0.9)
+	if idx != -1 || math.Abs(z-0.9) > 0 {
+		t.Errorf("empty reduction: got (idx=%d z=%g), want (-1, 0.9)", idx, z)
+	}
+	idx, _, _ = bestCandidate(nil, 0.9)
+	if idx != -1 {
+		t.Errorf("nil reduction: got idx=%d, want -1", idx)
+	}
+}
+
+// TestBestNNICandidateChain pins the NNI acceptance replay: the serial loop
+// is an order-dependent chain (a candidate must beat the *incumbent* by
+// more than eps, and the incumbent updates as the scan walks), not an
+// argmax. A later candidate that beats the start but not the updated
+// incumbent must lose.
+func TestBestNNICandidateChain(t *testing.T) {
+	const current, eps = -100.0, 1.0
+	scores := []candScore{
+		{z: 0.1, ll: -98, ok: true},   // beats -100+1: incumbent -> -98
+		{z: 0.2, ll: -97.5, ok: true}, // beats -100+1 but NOT -98+1: rejected
+		{z: 0.3, ll: -96, ok: true},   // beats -98+1: incumbent -> -96
+		{z: 0.4, ll: -95.5, ok: true}, // beats -96 but not -96+1: rejected
+	}
+	idx, z, ll := bestNNICandidate(scores, 0.9, current, eps)
+	if idx != 2 || math.Abs(z-0.3) > 0 || math.Abs(ll-(-96)) > 0 {
+		t.Errorf("got (idx=%d z=%g ll=%g), want (2, 0.3, -96)", idx, z, ll)
+	}
+
+	// No candidate clears the gate: keep the current likelihood.
+	idx, _, ll = bestNNICandidate([]candScore{{ll: -99.5, ok: true}}, 0.9, current, eps)
+	if idx != -1 || math.Abs(ll-current) > 0 {
+		t.Errorf("gated reduction: got (idx=%d ll=%g), want (-1, %g)", idx, ll, current)
+	}
+}
+
+// runSPR42SC runs the full SPR search on the 42_SC fixture with the given
+// worker count, starting from the same parsimony tree every time.
+func runSPR42SC(t *testing.T, workers int, reg *obs.Registry) (*Result, likelihood.Meter) {
+	t.Helper()
+	pat := load42SC(t)
+	m := seqsim.DefaultModel()
+	start, err := parsimony.BuildStepwise(pat, rand.New(rand.NewSource(777)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(eng, start, Options{
+		Radius: 3, MaxRounds: 2, SmoothPasses: 2, Epsilon: 0.05,
+		Workers: workers, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, eng.Meter
+}
+
+// TestParallelSPRCrossValidation42SC is the ISSUE's acceptance test: the
+// worker-pool SPR search on the 42_SC fixture must reach the identical
+// final topology and the same log-likelihood (1e-9 relative) as the serial
+// search, with the same move and round counts — parallelism is a pure
+// scheduling change, never a search-path change.
+func TestParallelSPRCrossValidation42SC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SPR search on 42 taxa, twice")
+	}
+	serial, _ := runSPR42SC(t, 1, nil)
+	pooled, _ := runSPR42SC(t, 4, nil)
+
+	if math.Abs(serial.LogL-pooled.LogL) > 1e-9*math.Max(1, math.Abs(serial.LogL)) {
+		t.Errorf("pooled logL %.12f != serial %.12f", pooled.LogL, serial.LogL)
+	}
+	if serial.Moves != pooled.Moves || serial.Rounds != pooled.Rounds {
+		t.Errorf("search path diverged: serial %d moves/%d rounds, pooled %d moves/%d rounds",
+			serial.Moves, serial.Rounds, pooled.Moves, pooled.Rounds)
+	}
+	rf, err := phylotree.RobinsonFoulds(serial.Tree, pooled.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf != 0 {
+		t.Errorf("topologies diverged: RF=%d", rf)
+	}
+}
+
+// TestParallelSearchMeterDeterminism repeats the pooled 42_SC search and
+// requires bit-identical results and Meter totals across runs: static
+// partitioning plus worker-order merges make the kernel-op accounting a
+// pure function of the input, not of goroutine scheduling.
+func TestParallelSearchMeterDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SPR search on 42 taxa, twice")
+	}
+	resA, mtA := runSPR42SC(t, 3, nil)
+	resB, mtB := runSPR42SC(t, 3, nil)
+	if math.Abs(resA.LogL-resB.LogL) > 0 {
+		t.Errorf("repeat run logL %.15f != %.15f", resB.LogL, resA.LogL)
+	}
+	if mtA != mtB {
+		t.Errorf("repeat run meter differs:\n first %+v\n again %+v", mtA, mtB)
+	}
+}
+
+// TestParallelNNICrossValidation checks the NNI acceptance chain survives
+// pooling: serial NNISearch and the pooled NNISearchOpts must accept the
+// same interchanges and land on the same likelihood.
+func TestParallelNNICrossValidation(t *testing.T) {
+	pat, _, m := simulated(t, 91, 12, 300)
+	run := func(workers int) (float64, int, *phylotree.Tree) {
+		start, err := parsimony.BuildStepwise(pat, rand.New(rand.NewSource(92)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ll, moves, err := NNISearchOpts(eng, start, Options{MaxRounds: 4, Epsilon: 0.01, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ll, moves, start
+	}
+	llS, movesS, trS := run(1)
+	llP, movesP, trP := run(4)
+	if math.Abs(llS-llP) > 1e-9*math.Max(1, math.Abs(llS)) {
+		t.Errorf("pooled NNI logL %.12f != serial %.12f", llP, llS)
+	}
+	if movesS != movesP {
+		t.Errorf("pooled NNI accepted %d moves, serial %d", movesP, movesS)
+	}
+	rf, err := phylotree.RobinsonFoulds(trS, trP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf != 0 {
+		t.Errorf("NNI topologies diverged: RF=%d", rf)
+	}
+}
+
+// TestSearchMetricsPublished verifies the observability wiring: a pooled
+// search publishes scored-candidate and parallel-round counters plus the
+// pool-occupancy gauges into the registry that -debug-addr serves.
+func TestSearchMetricsPublished(t *testing.T) {
+	pat, _, m := simulated(t, 93, 14, 240)
+	start, err := parsimony.BuildStepwise(pat, rand.New(rand.NewSource(94)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	if _, err := Run(eng, start, Options{
+		Radius: 3, MaxRounds: 2, SmoothPasses: 2, Epsilon: 0.05,
+		Workers: 2, Metrics: reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if n, ok := snap.CounterValue("search.candidates_scored"); !ok || n == 0 {
+		t.Errorf("search.candidates_scored = %d (present %v), want > 0", n, ok)
+	}
+	if n, ok := snap.CounterValue("search.parallel_rounds"); !ok || n == 0 {
+		t.Errorf("search.parallel_rounds = %d (present %v), want > 0", n, ok)
+	}
+	if v, ok := snap.GaugeValue("search.pool_workers"); !ok || math.Abs(v-2) > 0 {
+		t.Errorf("search.pool_workers = %g (present %v), want 2", v, ok)
+	}
+	if _, ok := snap.GaugeValue("search.pool_busy"); !ok {
+		t.Error("search.pool_busy gauge not published")
+	}
+}
+
+// TestSerialSearchCountsCandidates checks the candidate counter also works
+// without a pool (Workers <= 1) and that no pool gauges appear.
+func TestSerialSearchCountsCandidates(t *testing.T) {
+	pat, _, m := simulated(t, 95, 10, 200)
+	start, err := parsimony.BuildStepwise(pat, rand.New(rand.NewSource(96)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	if _, err := Run(eng, start, Options{
+		Radius: 2, MaxRounds: 1, SmoothPasses: 2, Epsilon: 0.05, Metrics: reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if n, ok := snap.CounterValue("search.candidates_scored"); !ok || n == 0 {
+		t.Errorf("search.candidates_scored = %d (present %v), want > 0", n, ok)
+	}
+	if n, _ := snap.CounterValue("search.parallel_rounds"); n != 0 {
+		t.Errorf("serial run reported %d parallel rounds", n)
+	}
+	if _, ok := snap.GaugeValue("search.pool_workers"); ok {
+		t.Error("serial run published search.pool_workers")
+	}
+}

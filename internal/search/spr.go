@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/obs"
 	"raxmlcell/internal/phylotree"
 )
 
@@ -32,6 +33,22 @@ type Options struct {
 	// and Figure-3-style scheduler reasoning). It runs on the searching
 	// goroutine, so it must be cheap and must not mutate the tree/engine.
 	OnProgress func(Progress)
+
+	// Workers > 1 enables task-level parallelism inside this search: the
+	// SPR/NNI insertion candidates of each pruned subtree are scored
+	// concurrently on a pool of Workers kernel contexts, and traversal
+	// descriptors execute wavefront-parallel on the same pool. The chosen
+	// moves, final topology and log-likelihood are identical to the serial
+	// search (up to documented FP summation order, see DESIGN.md
+	// "Parallelism layers"); <= 1 runs fully serial. Orthogonal to
+	// likelihood.Config.Threads, which splits the per-pattern loops
+	// *inside* one kernel call — total concurrency ≈ Workers × Threads.
+	Workers int
+
+	// Metrics, when non-nil, receives the live search series: the
+	// search.candidates_scored / search.parallel_rounds counters and the
+	// search.pool_workers / search.pool_busy occupancy gauges.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions mirrors the paper's search regime at small scale.
@@ -76,9 +93,17 @@ func pruneCandidates(tr *phylotree.Tree) []*phylotree.Node {
 // subtree's own branch, RAxML's "lazy" evaluation), and kept at the best
 // position if that improves the current likelihood by more than eps.
 // It returns the updated log-likelihood and the number of accepted moves.
-func sprRound(eng *likelihood.Engine, tr *phylotree.Tree, radius int, baseline, eps float64) (float64, int, error) {
+// Candidate scoring goes through sc — concurrently when the search has a
+// worker pool, with the winner reduced deterministically in candidate
+// order either way.
+func sprRound(eng *likelihood.Engine, tr *phylotree.Tree, sc *searchCtx, radius int, baseline, eps float64) (float64, int, error) {
 	current := baseline
 	accepted := 0
+	// Error wrapping happens after the loop: fmt.Errorf boxes its operands,
+	// and the round loop is hot (see the hotpathalloc analyzer), so failures
+	// break out with a stage tag and format once on the cold path.
+	var stage string
+	var stageErr error
 	for _, p := range pruneCandidates(tr) {
 		if p.Back == nil || p.Next == nil {
 			continue // record was detached by a concurrent accepted move
@@ -89,38 +114,27 @@ func sprRound(eng *likelihood.Engine, tr *phylotree.Tree, radius int, baseline, 
 		}
 		zSub := ps.P.Z
 
-		cands := phylotree.RadiusEdges(ps.Q, radius)
-		cands = append(cands, phylotree.RadiusEdges(ps.R, radius)...)
+		sc.cands = phylotree.RadiusEdgesInto(sc.cands[:0], ps.Q, radius)
+		sc.cands = phylotree.RadiusEdgesInto(sc.cands, ps.R, radius)
 
 		// Lazy SPR: score every candidate from cached directed vectors of
 		// the (fixed) pruned tree, optimizing only the subtree's branch.
-		views := eng.NewViews()
-		bestLL := math.Inf(-1)
-		bestZ := zSub
-		var bestEdge *phylotree.Node
-		for _, cand := range cands {
-			if cand.Back == nil {
-				continue
-			}
-			z, ll, err := views.InsertionScore(cand, ps.P, zSub)
-			if err != nil {
-				views.Release()
-				return 0, 0, fmt.Errorf("search: trial insertion: %w", err)
-			}
-			if ll > bestLL {
-				bestLL, bestZ, bestEdge = ll, z, cand
-			}
+		scores, err := sc.scoreInsertions(eng, sc.cands, ps.P, zSub)
+		if err != nil {
+			stage, stageErr = "trial insertion", err
+			break
 		}
-		views.Release()
+		bestIdx, bestZ, bestLL := bestCandidate(scores, zSub)
 
-		if bestEdge != nil && bestLL > current+eps {
-			if err := tr.Regraft(ps, bestEdge); err != nil {
-				return 0, 0, fmt.Errorf("search: accepting move: %w", err)
+		if bestIdx >= 0 && bestLL > current+eps {
+			if err := tr.Regraft(ps, sc.cands[bestIdx]); err != nil {
+				stage, stageErr = "accepting move", err
+				break
 			}
 			ps.P.SetZ(bestZ)
 			eng.Invalidate(ps.P) // direct SetZ bypasses the tree's hooks
 			// Locally optimize the three branches around the insertion.
-			for _, b := range []*phylotree.Node{ps.P, ps.P.Next, ps.P.Next.Next} {
+			for _, b := range [...]*phylotree.Node{ps.P, ps.P.Next, ps.P.Next.Next} {
 				if _, ll, err := eng.MakeNewz(b); err == nil {
 					bestLL = ll
 				}
@@ -129,9 +143,14 @@ func sprRound(eng *likelihood.Engine, tr *phylotree.Tree, radius int, baseline, 
 			accepted++
 		} else {
 			if err := tr.Undo(ps); err != nil {
-				return 0, 0, fmt.Errorf("search: undo: %w", err)
+				stage, stageErr = "undo", err
+				break
 			}
 		}
+	}
+	sc.finishRound()
+	if stageErr != nil {
+		return 0, 0, fmt.Errorf("search: %s: %w", stage, stageErr)
 	}
 	return current, accepted, nil
 }
@@ -158,6 +177,11 @@ func Run(eng *likelihood.Engine, start *phylotree.Tree, opt Options) (*Result, e
 	// (no-op when Config.Incremental is off).
 	eng.AttachTree(start)
 
+	// Task-level parallelism: candidate scoring and wavefront traversal
+	// execution share one worker pool for the duration of this search.
+	sc := newSearchCtx(eng, opt)
+	defer sc.close(eng)
+
 	ll, err := SmoothBranches(eng, start, opt.SmoothPasses, opt.Epsilon)
 	if err != nil {
 		return nil, err
@@ -177,7 +201,7 @@ func Run(eng *likelihood.Engine, start *phylotree.Tree, opt Options) (*Result, e
 	res := &Result{Tree: start, Alpha: alpha}
 	for round := 0; round < opt.MaxRounds; round++ {
 		res.Rounds = round + 1
-		newLL, moves, err := sprRound(eng, start, opt.Radius, ll, opt.Epsilon)
+		newLL, moves, err := sprRound(eng, start, sc, opt.Radius, ll, opt.Epsilon)
 		if err != nil {
 			return nil, err
 		}
