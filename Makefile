@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race bench bench-json chaos fuzz lint raxmlvet trace fmt clean
+.PHONY: build test race bench bench-json backend-gate chaos fuzz lint raxmlvet trace fmt clean
 
 build:
 	$(GO) build ./...
@@ -15,14 +15,26 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
 
-# bench-json measures the serial vs. worker-pool SPR search on the 42_SC
-# stand-in workload and writes the result (timings, kernel counters, host
-# metadata, speedup) as schema-validated JSON. The committed snapshot is
-# BENCH_PR5.json; CI regenerates a quick variant and validates both. Extra
-# flags: make bench-json BENCHJSON_FLAGS="-quick -out /tmp/smoke.json"
-BENCHJSON_FLAGS ?= -out BENCH_PR5.json
+# bench-json measures the compute-backend x search-worker matrix of the
+# SPR search on the 42_SC stand-in workload and writes the result (timings,
+# kernel counters, host metadata, speedup map) as schema-validated JSON.
+# The committed snapshot is BENCH_PR6.json (BENCH_PR5.json is the retained
+# schema/1 snapshot from before the backend axis existed); CI regenerates a
+# quick variant and validates both. Extra flags:
+# make bench-json BENCHJSON_FLAGS="-quick -out /tmp/smoke.json"
+BENCHJSON_FLAGS ?= -out BENCH_PR6.json
 bench-json:
 	$(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS)
+
+# backend-gate is the local mirror of the CI compute-backend gate: every
+# registered likelihood backend must reproduce the scalar reference on the
+# 42_SC search (same accepted moves, logL within 1e-9), the per-kernel
+# equivalence suite must pass under the race detector, and a short fuzz
+# session hunts for alignment shapes where a backend diverges.
+backend-gate:
+	$(GO) test -count=1 -run 'TestBackendCrossValidation42SC' ./internal/search
+	$(GO) test -race -count=1 -run 'TestBackend|FuzzBackendEquivalence' ./internal/likelihood
+	$(GO) test -run=NONE -fuzz=FuzzBackendEquivalence -fuzztime=$(FUZZTIME) ./internal/likelihood
 
 # chaos replays the fault-injection campaigns under the race detector with a
 # pinned seed, so a failure here is reproducible bit for bit. Override

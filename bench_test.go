@@ -388,7 +388,7 @@ func BenchmarkEvaluate42SC(b *testing.B) {
 // partial-vector caching. combines/op is the number of newview executions a
 // sweep actually performs; cachehits/op counts the traversal-descriptor
 // stops at valid cached vectors.
-func benchSmooth42SC(b *testing.B, incremental bool) {
+func benchSmooth42SC(b *testing.B, incremental bool, backend string) {
 	rng := rand.New(rand.NewSource(61))
 	m := seqsim.DefaultModel()
 	a, _, err := seqsim.Generate(seqsim.Params42SC(), m, rng)
@@ -400,7 +400,7 @@ func benchSmooth42SC(b *testing.B, incremental bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng, err := likelihood.NewEngine(pat, m, likelihood.Config{Incremental: incremental})
+	eng, err := likelihood.NewEngine(pat, m, likelihood.Config{Incremental: incremental, Backend: backend})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -415,13 +415,14 @@ func benchSmooth42SC(b *testing.B, incremental bool) {
 	b.ReportMetric(float64(eng.Meter.CacheHits)/float64(b.N), "cachehits/op")
 }
 
-func BenchmarkSmooth42SC(b *testing.B)       { benchSmooth42SC(b, false) }
-func BenchmarkSmoothCached42SC(b *testing.B) { benchSmooth42SC(b, true) }
+func BenchmarkSmooth42SC(b *testing.B)        { benchSmooth42SC(b, false, "scalar") }
+func BenchmarkSmoothBatched42SC(b *testing.B) { benchSmooth42SC(b, false, "batched") }
+func BenchmarkSmoothCached42SC(b *testing.B)  { benchSmooth42SC(b, true, "scalar") }
 
 // benchSearch42SC runs a whole small hill-climbing search per iteration
 // (fresh tree and engine each time) and reports the end-to-end newview-call
 // count under full recomputation vs incremental caching.
-func benchSearch42SC(b *testing.B, incremental bool) {
+func benchSearch42SC(b *testing.B, incremental bool, backend string) {
 	rng := rand.New(rand.NewSource(62))
 	m := seqsim.DefaultModel()
 	a, _, err := seqsim.Generate(seqsim.Params42SC(), m, rng)
@@ -436,7 +437,7 @@ func benchSearch42SC(b *testing.B, incremental bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		eng, err := likelihood.NewEngine(pat, m, likelihood.Config{Incremental: incremental})
+		eng, err := likelihood.NewEngine(pat, m, likelihood.Config{Incremental: incremental, Backend: backend})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -453,8 +454,9 @@ func benchSearch42SC(b *testing.B, incremental bool) {
 	b.ReportMetric(float64(hits)/float64(b.N), "cachehits/op")
 }
 
-func BenchmarkSearch42SC(b *testing.B)       { benchSearch42SC(b, false) }
-func BenchmarkSearchCached42SC(b *testing.B) { benchSearch42SC(b, true) }
+func BenchmarkSearch42SC(b *testing.B)        { benchSearch42SC(b, false, "scalar") }
+func BenchmarkSearchBatched42SC(b *testing.B) { benchSearch42SC(b, false, "batched") }
+func BenchmarkSearchCached42SC(b *testing.B)  { benchSearch42SC(b, true, "scalar") }
 
 // BenchmarkParallelSPR42SC is the task-level-parallelism counterpart of
 // BenchmarkSearch42SC: the identical whole-search workload with SPR

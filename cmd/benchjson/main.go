@@ -1,25 +1,28 @@
-// Command benchjson measures the task-level-parallelism speedup of the SPR
-// search on the 42_SC stand-in workload and writes it as machine-readable
-// JSON (BENCH_PR5.json in the repo root is a committed snapshot).
+// Command benchjson measures the compute-backend and task-level-parallelism
+// speedups of the SPR search on the 42_SC stand-in workload and writes them
+// as machine-readable JSON (BENCH_PR6.json in the repo root is a committed
+// snapshot).
 //
 // The workload mirrors BenchmarkSearch42SC / BenchmarkParallelSPR42SC in
 // bench_test.go: simulate a 42-taxa x 1167-site alignment at the paper's
 // benchmark dimensions (seed 62), build the same parsimony starting tree
 // every run (seed 63), then hill-climb with Radius 3, MaxRounds 2,
-// SmoothPasses 2, Epsilon 0.05 — once serially and once with the
-// -search-workers pool. Both runs must land on the identical logL (the pool
-// is a scheduling change, not a search change); benchjson enforces that
-// before writing.
+// SmoothPasses 2, Epsilon 0.05 — once per (backend, search-workers) cell of
+// the measurement matrix. Every cell must land on the identical logL and
+// move sequence (backends and the worker pool are compute/scheduling
+// changes, not search changes); benchjson enforces that before writing.
 //
 // Usage:
 //
-//	benchjson -out BENCH_PR5.json            # full measurement (best of -reps)
+//	benchjson -out BENCH_PR6.json            # full matrix (best of -reps)
 //	benchjson -quick -out /tmp/smoke.json    # single repetition (CI smoke)
-//	benchjson -check BENCH_PR5.json          # parse + validate an existing file
+//	benchjson -backend batched -workers 1    # one backend, serial only
+//	benchjson -check BENCH_PR6.json          # parse + validate an existing file
 //
 // Host metadata (cpus, GOMAXPROCS, Go version) is recorded so a committed
 // snapshot from a small container is distinguishable from a multi-core CI
-// run; the speedup field is only meaningful when cpus >= workers.
+// run; the worker-scaling speedups are only meaningful when cpus >= workers,
+// while the backend-vs-scalar speedups are meaningful even on one CPU.
 package main
 
 import (
@@ -30,6 +33,9 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"raxmlcell/internal/alignment"
@@ -39,9 +45,10 @@ import (
 	"raxmlcell/internal/seqsim"
 )
 
-// Entry is one measured configuration of the search workload.
+// Entry is one measured (backend, workers) cell of the matrix.
 type Entry struct {
-	Name      string  `json:"name"`
+	Name      string  `json:"name"` // "<backend>-<workers>w"
+	Backend   string  `json:"backend"`
 	Workers   int     `json:"workers"`
 	Reps      int     `json:"reps"`
 	NsPerOp   int64   `json:"ns_per_op"` // best (minimum) wall time of the reps
@@ -55,29 +62,35 @@ type Entry struct {
 	Exps      uint64  `json:"exps"`
 }
 
-// Report is the file schema.
+// Report is the file schema. Schema /2 extends /1 with the backend axis:
+// entries carry a backend name and the scalar speedup field became a map
+// keyed by comparison name ("batched-vs-scalar-1w" for backend wins at
+// fixed workers, "<backend>-2w" / "<backend>-4w" for pool scaling within a
+// backend, relative to that backend's serial cell).
 type Report struct {
-	Schema     string  `json:"schema"` // "raxmlcell-bench/1"
-	Generated  string  `json:"generated"`
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	CPUs       int     `json:"cpus"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Workload   string  `json:"workload"`
-	Entries    []Entry `json:"entries"`
-	Speedup    float64 `json:"speedup"` // serial ns_per_op / parallel ns_per_op
+	Schema     string             `json:"schema"` // "raxmlcell-bench/2"
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	CPUs       int                `json:"cpus"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Workload   string             `json:"workload"`
+	Backends   []string           `json:"backends"`
+	Entries    []Entry            `json:"entries"`
+	Speedups   map[string]float64 `json:"speedups"`
 }
 
-const schemaID = "raxmlcell-bench/1"
+const schemaID = "raxmlcell-bench/2"
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR5.json", "output path")
-		workers = flag.Int("workers", 4, "worker-pool size for the parallel entry")
-		reps    = flag.Int("reps", 3, "repetitions per entry; the best time is reported")
-		quick   = flag.Bool("quick", false, "single repetition (CI smoke)")
-		check   = flag.String("check", "", "validate an existing report file and exit")
+		out      = flag.String("out", "BENCH_PR6.json", "output path")
+		backends = flag.String("backend", "", "comma-separated compute backends to measure (default: all registered: "+strings.Join(likelihood.Backends(), ", ")+")")
+		workers  = flag.String("workers", "1,2,4", "comma-separated search-worker counts per backend")
+		reps     = flag.Int("reps", 3, "repetitions per entry; the best time is reported")
+		quick    = flag.Bool("quick", false, "single repetition (CI smoke)")
+		check    = flag.String("check", "", "validate an existing report file and exit")
 	)
 	flag.Parse()
 
@@ -93,7 +106,16 @@ func main() {
 	if *quick {
 		*reps = 1
 	}
-	rep, err := measure(*workers, *reps)
+	bkList := likelihood.Backends()
+	if *backends != "" {
+		bkList = strings.Split(*backends, ",")
+	}
+	wkList, err := parseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -workers: %v\n", err)
+		os.Exit(1)
+	}
+	rep, err := measure(bkList, wkList, *reps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
@@ -114,14 +136,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote invalid report: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: serial %.2fms, workers=%d %.2fms, speedup %.2fx (cpus=%d)\n",
-		*out, float64(rep.Entries[0].NsPerOp)/1e6, *workers,
-		float64(rep.Entries[1].NsPerOp)/1e6, rep.Speedup, rep.CPUs)
+	fmt.Printf("wrote %s: %d entries (%s x workers %v)\n", *out, len(rep.Entries),
+		strings.Join(rep.Backends, ","), wkList)
+	names := make([]string, 0, len(rep.Speedups))
+	for n := range rep.Speedups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  speedup %-24s %.2fx\n", n, rep.Speedups[n])
+	}
 }
 
-// measure runs the serial and pooled search workloads and assembles the
-// report.
-func measure(workers, reps int) (*Report, error) {
+// parseWorkers turns "1,2,4" into a sorted, deduplicated []int.
+func parseWorkers(s string) ([]int, error) {
+	seen := map[int]bool{}
+	var ws []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		if !seen[n] {
+			seen[n] = true
+			ws = append(ws, n)
+		}
+	}
+	sort.Ints(ws)
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return ws, nil
+}
+
+// measure runs the full backend x workers matrix and assembles the report.
+func measure(backends []string, workers []int, reps int) (*Report, error) {
 	rng := rand.New(rand.NewSource(62))
 	m := seqsim.DefaultModel()
 	a, _, err := seqsim.Generate(seqsim.Params42SC(), m, rng)
@@ -130,21 +179,28 @@ func measure(workers, reps int) (*Report, error) {
 	}
 	pat := alignment.Compress(a)
 
-	serial, err := runEntry("serial", pat, 1, reps)
-	if err != nil {
-		return nil, err
+	var entries []Entry
+	for _, bk := range backends {
+		for _, w := range workers {
+			e, err := runEntry(pat, bk, w, reps)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, *e)
+		}
 	}
-	pooled, err := runEntry(fmt.Sprintf("workers-%d", workers), pat, workers, reps)
-	if err != nil {
-		return nil, err
-	}
-	// Determinism gate: the pool must not change the search result.
-	if math.Abs(serial.LogL-pooled.LogL) > 1e-9*math.Max(1, math.Abs(serial.LogL)) {
-		return nil, fmt.Errorf("pooled logL %.12f != serial %.12f", pooled.LogL, serial.LogL)
-	}
-	if serial.Moves != pooled.Moves || serial.Rounds != pooled.Rounds {
-		return nil, fmt.Errorf("search path diverged: serial %d moves/%d rounds, pooled %d/%d",
-			serial.Moves, serial.Rounds, pooled.Moves, pooled.Rounds)
+	// Determinism gate: no cell of the matrix may change the search result.
+	// Backends promise logL within 1e-9 of scalar and the identical move
+	// sequence; the worker pool is a pure scheduling change.
+	ref := entries[0]
+	for _, e := range entries[1:] {
+		if math.Abs(ref.LogL-e.LogL) > 1e-9*math.Max(1, math.Abs(ref.LogL)) {
+			return nil, fmt.Errorf("%s logL %.12f != %s %.12f", e.Name, e.LogL, ref.Name, ref.LogL)
+		}
+		if ref.Moves != e.Moves || ref.Rounds != e.Rounds {
+			return nil, fmt.Errorf("search path diverged: %s %d moves/%d rounds, %s %d/%d",
+				ref.Name, ref.Moves, ref.Rounds, e.Name, e.Moves, e.Rounds)
+		}
 	}
 
 	return &Report{
@@ -156,22 +212,52 @@ func measure(workers, reps int) (*Report, error) {
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workload:   "42sc SPR search: seqsim.Params42SC seed 62, parsimony start seed 63, Radius 3, MaxRounds 2, SmoothPasses 2, Epsilon 0.05",
-		Entries:    []Entry{*serial, *pooled},
-		Speedup:    float64(serial.NsPerOp) / float64(pooled.NsPerOp),
+		Backends:   backends,
+		Entries:    entries,
+		Speedups:   speedups(entries),
 	}, nil
 }
 
-// runEntry measures one configuration, reporting the best wall time over
-// reps repetitions and the (deterministic) result of the last one.
-func runEntry(name string, pat *alignment.Patterns, workers, reps int) (*Entry, error) {
+// speedups derives the comparison map: each backend's pool scaling against
+// its own serial cell, and each non-scalar backend against scalar at equal
+// worker counts.
+func speedups(entries []Entry) map[string]float64 {
+	serial := map[string]int64{} // backend -> 1-worker ns
+	scalar := map[int]int64{}    // workers -> scalar ns
+	for _, e := range entries {
+		if e.Workers == 1 {
+			serial[e.Backend] = e.NsPerOp
+		}
+		if e.Backend == "scalar" {
+			scalar[e.Workers] = e.NsPerOp
+		}
+	}
+	sp := map[string]float64{}
+	for _, e := range entries {
+		if s, ok := serial[e.Backend]; ok && e.Workers > 1 {
+			sp[e.Name] = float64(s) / float64(e.NsPerOp)
+		}
+		if s, ok := scalar[e.Workers]; ok && e.Backend != "scalar" {
+			sp[fmt.Sprintf("%s-vs-scalar-%dw", e.Backend, e.Workers)] = float64(s) / float64(e.NsPerOp)
+		}
+	}
+	return sp
+}
+
+// runEntry measures one (backend, workers) cell, reporting the best wall
+// time over reps repetitions and the (deterministic) result of the last one.
+func runEntry(pat *alignment.Patterns, backend string, workers, reps int) (*Entry, error) {
 	m := seqsim.DefaultModel()
-	e := &Entry{Name: name, Workers: workers, Reps: reps, NsPerOp: math.MaxInt64}
+	e := &Entry{
+		Name:    fmt.Sprintf("%s-%dw", backend, workers),
+		Backend: backend, Workers: workers, Reps: reps, NsPerOp: math.MaxInt64,
+	}
 	for r := 0; r < reps; r++ {
 		start, err := parsimony.BuildStepwise(pat, rand.New(rand.NewSource(63)))
 		if err != nil {
 			return nil, err
 		}
-		eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+		eng, err := likelihood.NewEngine(pat, m, likelihood.Config{Backend: backend})
 		if err != nil {
 			return nil, err
 		}
@@ -194,8 +280,9 @@ func runEntry(name string, pat *alignment.Patterns, workers, reps int) (*Entry, 
 	return e, nil
 }
 
-// checkFile parses and validates a report: schema tag, both entries
-// present with non-zero timings and kernel counters, matching results.
+// checkFile parses and validates a report: schema tag, a full matrix of
+// entries with non-zero timings and kernel counters, matching results
+// across every cell, and a non-empty speedup map with positive ratios.
 func checkFile(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -211,14 +298,20 @@ func checkFile(path string) error {
 	if rep.CPUs < 1 || rep.GoVersion == "" {
 		return fmt.Errorf("missing host metadata")
 	}
-	if len(rep.Entries) != 2 {
-		return fmt.Errorf("%d entries, want 2 (serial + pooled)", len(rep.Entries))
+	if len(rep.Backends) == 0 {
+		return fmt.Errorf("no backends recorded")
 	}
-	serial, pooled := rep.Entries[0], rep.Entries[1]
-	if serial.Workers != 1 || pooled.Workers < 2 {
-		return fmt.Errorf("entry workers (%d, %d), want (1, >=2)", serial.Workers, pooled.Workers)
+	if len(rep.Entries) == 0 {
+		return fmt.Errorf("no entries")
 	}
+	serialByBackend := map[string]bool{}
 	for _, e := range rep.Entries {
+		if e.Backend == "" || e.Workers < 1 {
+			return fmt.Errorf("entry %s: missing backend/workers", e.Name)
+		}
+		if e.Workers == 1 {
+			serialByBackend[e.Backend] = true
+		}
 		if e.NsPerOp <= 0 {
 			return fmt.Errorf("entry %s: ns_per_op %d", e.Name, e.NsPerOp)
 		}
@@ -231,11 +324,28 @@ func checkFile(path string) error {
 			return fmt.Errorf("entry %s: implausible logL %v", e.Name, e.LogL)
 		}
 	}
-	if math.Abs(serial.LogL-pooled.LogL) > 1e-9*math.Max(1, math.Abs(serial.LogL)) {
-		return fmt.Errorf("entries disagree on logL: %.12f vs %.12f", serial.LogL, pooled.LogL)
+	for _, bk := range rep.Backends {
+		if !serialByBackend[bk] {
+			return fmt.Errorf("backend %s has no 1-worker entry", bk)
+		}
 	}
-	if rep.Speedup <= 0 {
-		return fmt.Errorf("speedup %v", rep.Speedup)
+	ref := rep.Entries[0]
+	for _, e := range rep.Entries[1:] {
+		if math.Abs(ref.LogL-e.LogL) > 1e-9*math.Max(1, math.Abs(ref.LogL)) {
+			return fmt.Errorf("entries disagree on logL: %s %.12f vs %s %.12f",
+				ref.Name, ref.LogL, e.Name, e.LogL)
+		}
+		if ref.Moves != e.Moves || ref.Rounds != e.Rounds {
+			return fmt.Errorf("entries disagree on search path: %s vs %s", ref.Name, e.Name)
+		}
+	}
+	if len(rep.Speedups) == 0 && len(rep.Entries) > 1 {
+		return fmt.Errorf("no speedups recorded for a multi-entry matrix")
+	}
+	for name, v := range rep.Speedups {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("speedup %s: %v", name, v)
+		}
 	}
 	return nil
 }

@@ -43,7 +43,8 @@ func main() {
 		bootstraps = flag.Int("bootstraps", 20, "number of bootstrap replicates")
 		seed       = flag.Int64("seed", 42, "master random seed")
 		workers    = flag.Int("workers", 4, "parallel workers (the MPI process count)")
-		searchWk   = flag.Int("search-workers", 1, "concurrent SPR-candidate scoring / wavefront traversal workers inside each search (1 = serial; see README for the -workers x -search-workers x -threads oversubscription guidance)")
+		searchWk   = flag.Int("search-workers", 1, "concurrent SPR-candidate scoring / wavefront traversal workers inside each search (1 = serial, 0 = auto-size from GOMAXPROCS; see README for the -workers x -search-workers x -threads oversubscription guidance)")
+		backend    = flag.String("backend", likelihood.DefaultBackend, "likelihood compute backend: "+strings.Join(likelihood.Backends(), ", "))
 		threads    = flag.Int("threads", 1, "goroutines splitting the per-pattern loops inside each likelihood kernel call (the RAxML-OMP loop-level axis)")
 		radius     = flag.Int("radius", 5, "SPR rearrangement radius")
 		rounds     = flag.Int("rounds", 10, "maximum SPR rounds per search")
@@ -70,6 +71,9 @@ func main() {
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *searchWk == 0 {
+		*searchWk = search.AutoWorkers()
 	}
 
 	logger := obs.NewLogger(os.Stderr, obs.Level(*verbose, *quiet))
@@ -124,7 +128,7 @@ func main() {
 			SmoothPasses: 4, Epsilon: 0.01, AlphaOpt: true, ModelOpt: *optModel,
 			Workers: *searchWk,
 		},
-		Kernel:  likelihood.Config{SDKExp: *sdkExp, IntCond: *intCond, Incremental: *incr, Threads: *threads},
+		Kernel:  likelihood.Config{SDKExp: *sdkExp, IntCond: *intCond, Incremental: *incr, Threads: *threads, Backend: *backend},
 		Log:     logger,
 		Metrics: metrics,
 	}

@@ -2,7 +2,6 @@ package likelihood
 
 import (
 	"fmt"
-	"math"
 
 	"raxmlcell/internal/phylotree"
 )
@@ -52,6 +51,20 @@ type Ctx struct {
 	// Buffer pools for Views (lazy-SPR directed-vector caches).
 	lvPool [][]float64
 	scPool [][]int32
+
+	// Backend operand blocks, stored on the context so passing their
+	// address through the Backend interface never escapes into a per-call
+	// heap allocation. One of each suffices: a context runs at most one
+	// kernel call at a time, and the Threads fan-out shares the (read-only)
+	// operands across its ranges.
+	combOp combineOp
+	evalOp evalOp
+	sumOp  sumOp
+	newtOp newtonOp
+
+	// tiles is backend-private scratch (sized by Backend.initCtx), one
+	// entry per Threads fan-out slot so concurrent ranges never alias.
+	tiles []tileScratch
 }
 
 // NewCtx returns a fresh worker context over the engine. Its kernel
@@ -87,6 +100,7 @@ func (c *Ctx) alloc() {
 	c.newzE0 = make([]float64, e.nmat*ns)
 	c.newzE1 = make([]float64, e.nmat*ns)
 	c.newzE2 = make([]float64, e.nmat*ns)
+	e.backend.initCtx(c)
 }
 
 // Engine returns the engine this context runs kernels for.
@@ -241,8 +255,6 @@ func (c *Ctx) evaluate(p *phylotree.Node, perSite []float64) (float64, error) {
 	c.meter.EvaluateCalls++
 
 	c.transitionMatrices(p.Z, c.pLeft)
-	freqs := &e.Mod.GTR.Freqs
-	ncat := e.ncat
 
 	pLv := e.lv[p.Index]
 	pScale := e.scale[p.Index]
@@ -257,75 +269,27 @@ func (c *Ctx) evaluate(p *phylotree.Node, perSite []float64) (float64, error) {
 		qScale = e.scale[q.Index]
 	}
 
-	work := func(pr patRange) (float64, combineStats, uint64) {
-		var st combineStats
-		var underflow uint64
-		sum := 0.0
-		for pat := pr.lo; pat < pr.hi; pat++ {
-			base := pat * ncat * ns
-			site := 0.0
-			for cat := 0; cat < ncat; cat++ {
-				mi := e.matIdx(pat, cat)
-				x := pLv[base+cat*ns:]
-				var proj [ns]float64
-				if qData != nil {
-					code := qData[pat] & 0x0f
-					copy(proj[:], c.tipPR[mi*16*ns+int(code)*ns:][:ns])
-				} else {
-					pc := c.pLeft[mi*ns*ns:]
-					y := qLv[base+cat*ns:]
-					for i := 0; i < ns; i++ {
-						proj[i] = pc[i*ns]*y[0] + pc[i*ns+1]*y[1] + pc[i*ns+2]*y[2] + pc[i*ns+3]*y[3]
-					}
-					st.muls += ns * ns
-					st.adds += ns * (ns - 1)
-				}
-				for i := 0; i < ns; i++ {
-					site += freqs[i] * x[i] * proj[i]
-				}
-				st.muls += 2 * ns
-				st.adds += ns
-			}
-			site *= e.invCats
-			st.muls++
-			sc := pScale[pat]
-			if qScale != nil {
-				sc += qScale[pat]
-			}
-			if site <= 0 || math.IsNaN(site) {
-				underflow++
-				site = math.SmallestNonzeroFloat64
-			}
-			siteLog := math.Log(site) + float64(sc)*logMinLik
-			if perSite != nil {
-				perSite[pat] = siteLog
-			}
-			sum += float64(e.Pat.Weights[pat]) * siteLog
-			st.bigIters++ // doubles as the per-pattern log count here
-			st.muls += 2
-			st.adds += 2
-		}
-		return sum, st, underflow
-	}
+	c.evalOp = evalOp{pLv: pLv, pScale: pScale, qData: qData, qLv: qLv, qScale: qScale, perSite: perSite}
+	op := &c.evalOp
+	bk := e.backend
 
 	logL := 0.0
 	var total combineStats
 	var underflow uint64
 	if e.parallel() {
 		ranges := e.splitPatterns()
-		sums := make([]float64, len(ranges))
-		stats := make([]combineStats, len(ranges))
-		unders := make([]uint64, len(ranges))
+		parts := make([]evalPart, len(ranges))
 		e.runParallel(ranges, func(pr patRange, slot int) {
-			sums[slot], stats[slot], unders[slot] = work(pr)
+			parts[slot] = bk.evaluateRange(c, op, pr, slot)
 		})
-		for i := range sums {
-			logL += sums[i]
-			total.add(stats[i])
-			underflow += unders[i]
+		for i := range parts {
+			logL += parts[i].sum
+			total.add(parts[i].st)
+			underflow += parts[i].underflow
 		}
 	} else {
-		logL, total, underflow = work(patRange{0, e.npat})
+		part := bk.evaluateRange(c, op, patRange{0, e.npat}, 0)
+		logL, total, underflow = part.sum, part.st, part.underflow
 	}
 	c.meter.Muls += total.muls
 	c.meter.Adds += total.adds

@@ -51,6 +51,24 @@ type Config struct {
 	// traversal and concurrent candidate scoring — is driven by Pool (see
 	// Engine.NewPool and search.Options.Workers).
 	Threads int
+
+	// Backend selects the compute backend the kernels' per-pattern inner
+	// loops run on: "scalar" (the reference loops, the default) or
+	// "batched" (pattern-major cache-blocked tiles with fused
+	// transition×partial loops — the Go analogue of the paper's SPU
+	// vectorization). See RegisterBackend/Backends; every registered
+	// backend must agree with scalar to ≤1e-9 logL. Empty means
+	// DefaultBackend.
+	Backend string
+}
+
+// BackendName resolves the configured backend name, mapping the empty
+// default to DefaultBackend.
+func (cfg Config) BackendName() string {
+	if cfg.Backend == "" {
+		return DefaultBackend
+	}
+	return cfg.Backend
 }
 
 // Engine computes likelihoods of trees over one compressed alignment and one
@@ -90,6 +108,10 @@ type Engine struct {
 	orient []*phylotree.Node
 
 	underflowSites uint64
+
+	// backend runs the kernels' per-pattern inner loops (Config.Backend).
+	// One stateless value serves every context of the engine.
+	backend Backend
 
 	// ctx0 is the primary kernel context backing the Engine methods; its
 	// meter/underflow sinks are the engine's own counters.
@@ -154,9 +176,17 @@ func NewEngine(pat *alignment.Patterns, mod *model.Model, cfg Config) (*Engine, 
 	if cfg.SDKExp {
 		e.expFn = FastExp
 	}
+	bk, err := newBackend(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	e.backend = bk
 	e.ctx0 = e.newPrimaryCtx()
 	return e, nil
 }
+
+// Backend reports the name of the compute backend the engine runs on.
+func (e *Engine) Backend() string { return e.backend.Name() }
 
 // matIdx maps a pattern and storage-category slot to the transition-matrix
 // index: the identity for Gamma, the per-pattern assignment for CAT.

@@ -57,14 +57,6 @@ func (c *Ctx) MakeNewz(p *phylotree.Node) (float64, float64, error) {
 	c.meter.MakenewzCalls++
 	zEntry := p.Z
 
-	g := e.Mod.GTR
-	ncat := e.ncat
-
-	// Build the sum table A[pat][c][k] and the constant per-pattern scaling
-	// offsets (independent of t).
-	sumTab := c.sumTab
-	scaleConst := 0.0
-
 	pLv := e.lv[p.Index]
 	pScale := e.scale[p.Index]
 	var qData []byte
@@ -76,38 +68,39 @@ func (c *Ctx) MakeNewz(p *phylotree.Node) (float64, float64, error) {
 		qLv = e.lv[q.Index]
 		qScale = e.scale[q.Index]
 	}
-
-	var muls, adds uint64
-	for pat := 0; pat < e.npat; pat++ {
-		base := pat * ncat * ns
-		sc := pScale[pat]
-		if qScale != nil {
-			sc += qScale[pat]
-		}
-		scaleConst += float64(e.Pat.Weights[pat]) * float64(sc) * logMinLik
-		for cat := 0; cat < ncat; cat++ {
-			x := pLv[base+cat*ns:]
-			var y [ns]float64
-			if qData != nil {
-				y = e.tipVec[qData[pat]&0x0f]
-			} else {
-				copy(y[:], qLv[base+cat*ns:][:ns])
-			}
-			for k := 0; k < ns; k++ {
-				a := 0.0
-				b := 0.0
-				for i := 0; i < ns; i++ {
-					a += g.Freqs[i] * x[i] * g.V[i][k]
-					b += g.VInv[k][i] * y[i]
-				}
-				sumTab[base+cat*ns+k] = a * b
-			}
-			muls += ns * (2*ns + ns + 1)
-			adds += ns * 2 * (ns - 1)
-		}
+	scaleConst := c.buildSumTable(pLv, pScale, qData, qLv, qScale)
+	bestT, bestLL := c.newtonSolve(p.Z, scaleConst)
+	p.SetZ(bestT)
+	//lint:ignore floatcmp deliberate bit-exact check: any change to the stored branch length, however small, must invalidate cached views
+	if p.Z != zEntry {
+		e.Invalidate(p)
 	}
-	c.meter.Muls += muls
-	c.meter.Adds += adds
+	return bestT, bestLL, nil
+}
+
+// buildSumTable fills c.sumTab with the eigenmode sum table A[pat][c][k]
+// of the branch between an explicit vector (pLv/pSc) and a q side (tip
+// codes or vector/scale), returning the t-independent scaling constant.
+// The build dispatches to the engine's backend but stays single-range: it
+// runs once per branch while newtonReduce runs once per Newton iteration,
+// and a serial build keeps the scaling-constant summation order
+// independent of Config.Threads.
+func (c *Ctx) buildSumTable(pLv []float64, pSc []int32, qData []byte, qLv []float64, qSc []int32) float64 {
+	e := c.eng
+	c.sumOp = sumOp{pLv: pLv, pSc: pSc, qData: qData, qLv: qLv, qSc: qSc}
+	part := e.backend.sumTableRange(c, &c.sumOp, patRange{0, e.npat}, 0)
+	c.meter.Muls += part.muls
+	c.meter.Adds += part.adds
+	return part.scaleConst
+}
+
+// newtonSolve runs the Newton-Raphson branch-length iteration on the sum
+// table prepared in c.sumTab, starting from z0, and returns the best
+// (length, logL + scaleConst) point seen. Shared by MakeNewz and the
+// lazy-SPR scorer (newtonOnBranch).
+func (c *Ctx) newtonSolve(z0, scaleConst float64) (bestT, bestLL float64) {
+	e := c.eng
+	g := e.Mod.GTR
 
 	// lamr[matrix][k] = λ_k · r_c, one block per distinct rate category.
 	lamr := c.lamr
@@ -132,12 +125,12 @@ func (c *Ctx) MakeNewz(p *phylotree.Node) (float64, float64, error) {
 		}
 		c.meter.Exps += uint64(e.nmat * ns)
 		c.meter.Muls += uint64(3 * e.nmat * ns)
-		ll, d1, d2 = c.newtonReduce(sumTab, e0, e1, e2, weights)
+		ll, d1, d2 = c.newtonReduce(e0, e1, e2, weights)
 		return ll + scaleConst, d1, d2
 	}
 
-	t := p.Z
-	bestT, bestLL := t, math.Inf(-1)
+	t := z0
+	bestT, bestLL = t, math.Inf(-1)
 	for iter := 0; iter < newtonMaxIter; iter++ {
 		c.meter.NewtonIters++
 		ll, d1, d2 := likelihoodAt(t)
@@ -173,10 +166,5 @@ func (c *Ctx) MakeNewz(p *phylotree.Node) (float64, float64, error) {
 	if ll >= bestLL {
 		bestLL, bestT = ll, t
 	}
-	p.SetZ(bestT)
-	//lint:ignore floatcmp deliberate bit-exact check: any change to the stored branch length, however small, must invalidate cached views
-	if p.Z != zEntry {
-		e.Invalidate(p)
-	}
-	return bestT, bestLL, nil
+	return bestT, bestLL
 }

@@ -81,62 +81,34 @@ func (e *Engine) runParallel(ranges []patRange, fn func(r patRange, slot int)) {
 }
 
 // newtonReduce computes the weighted (logL, d1, d2) triple of the Newton
-// iteration from a sum table and the per-matrix exponential blocks — the
-// reduction shared by MakeNewz and the lazy-SPR scorer, parallelized over
-// patterns when the engine is threaded.
-func (c *Ctx) newtonReduce(sumTab, e0, e1, e2 []float64, weights []int) (ll, d1, d2 float64) {
+// iteration from the sum table in c.sumTab and the per-matrix exponential
+// blocks — the reduction shared by MakeNewz and the lazy-SPR scorer,
+// dispatched to the engine's backend and parallelized over patterns when
+// the engine is threaded.
+func (c *Ctx) newtonReduce(e0, e1, e2 []float64, weights []int) (ll, d1, d2 float64) {
 	e := c.eng
 	ncat := e.ncat
-	work := func(pr patRange) (sll, sd1, sd2 float64, underflow, logs uint64) {
-		for pat := pr.lo; pat < pr.hi; pat++ {
-			base := pat * ncat * ns
-			var L, L1, L2 float64
-			for c := 0; c < ncat; c++ {
-				mb := e.matIdx(pat, c) * ns
-				for k := 0; k < ns; k++ {
-					a := sumTab[base+c*ns+k]
-					L += a * e0[mb+k]
-					L1 += a * e1[mb+k]
-					L2 += a * e2[mb+k]
-				}
-			}
-			L *= e.invCats
-			L1 *= e.invCats
-			L2 *= e.invCats
-			if L < minPositive {
-				underflow++
-				L = minPositive
-			}
-			w := float64(weights[pat])
-			sll += w * logFn(L)
-			sd1 += w * (L1 / L)
-			sd2 += w * (L2/L - (L1/L)*(L1/L))
-			logs++
-		}
-		return
-	}
+	c.newtOp = newtonOp{e0: e0, e1: e1, e2: e2, weights: weights}
+	op := &c.newtOp
+	bk := e.backend
 
 	var underflow, logs uint64
 	if e.parallel() {
 		ranges := e.splitPatterns()
-		type part struct {
-			ll, d1, d2 float64
-			uf, lg     uint64
-		}
-		parts := make([]part, len(ranges))
+		parts := make([]newtonPart, len(ranges))
 		e.runParallel(ranges, func(pr patRange, slot int) {
-			p := &parts[slot]
-			p.ll, p.d1, p.d2, p.uf, p.lg = work(pr)
+			parts[slot] = bk.newtonRange(c, op, pr, slot)
 		})
 		for _, p := range parts {
 			ll += p.ll
 			d1 += p.d1
 			d2 += p.d2
-			underflow += p.uf
-			logs += p.lg
+			underflow += p.underflow
+			logs += p.logs
 		}
 	} else {
-		ll, d1, d2, underflow, logs = work(patRange{0, e.npat})
+		p := bk.newtonRange(c, op, patRange{0, e.npat}, 0)
+		ll, d1, d2, underflow, logs = p.ll, p.d1, p.d2, p.underflow, p.logs
 	}
 	*c.underflow += underflow
 	c.meter.Logs += logs

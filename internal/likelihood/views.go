@@ -2,7 +2,6 @@ package likelihood
 
 import (
 	"fmt"
-	"math"
 
 	"raxmlcell/internal/phylotree"
 )
@@ -141,77 +140,22 @@ func (c *Ctx) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int32,
 	}
 
 	ncat := e.ncat
-	work := func(pr patRange) combineStats {
-		var st combineStats
-		for pat := pr.lo; pat < pr.hi; pat++ {
-			base := pat * ncat * ns
-			for cat := 0; cat < ncat; cat++ {
-				mi := e.matIdx(pat, cat)
-				var left, right [ns]float64
-				if qTip {
-					code := qData[pat] & 0x0f
-					copy(left[:], c.tipPL[mi*16*ns+int(code)*ns:][:ns])
-				} else {
-					pc := c.pLeft[mi*ns*ns:]
-					x := qLv[base+cat*ns:]
-					for i := 0; i < ns; i++ {
-						left[i] = pc[i*ns]*x[0] + pc[i*ns+1]*x[1] + pc[i*ns+2]*x[2] + pc[i*ns+3]*x[3]
-					}
-					st.muls += ns * ns
-					st.adds += ns * (ns - 1)
-				}
-				if rTip {
-					code := rData[pat] & 0x0f
-					copy(right[:], c.tipPR[mi*16*ns+int(code)*ns:][:ns])
-				} else {
-					pc := c.pRight[mi*ns*ns:]
-					x := rLv[base+cat*ns:]
-					for i := 0; i < ns; i++ {
-						right[i] = pc[i*ns]*x[0] + pc[i*ns+1]*x[1] + pc[i*ns+2]*x[2] + pc[i*ns+3]*x[3]
-					}
-					st.muls += ns * ns
-					st.adds += ns * (ns - 1)
-				}
-				for i := 0; i < ns; i++ {
-					dst[base+cat*ns+i] = left[i] * right[i]
-				}
-				st.muls += ns
-			}
-			st.bigIters++
-
-			sc := int32(0)
-			if qSc != nil {
-				sc += qSc[pat]
-			}
-			if rSc != nil {
-				sc += rSc[pat]
-			}
-			st.scaleChecks++
-			if e.needsScalingPure(dst[base : base+ncat*ns]) {
-				for k := base; k < base+ncat*ns; k++ {
-					dst[k] *= TwoTo256
-				}
-				st.muls += uint64(ncat * ns)
-				sc++
-				st.scaleEvents++
-			}
-			dstScale[pat] = sc
-		}
-		return st
-	}
+	c.combOp = combineOp{qData: qData, rData: rData, qLv: qLv, rLv: rLv, qSc: qSc, rSc: rSc, dst: dst, dstScale: dstScale}
+	op := &c.combOp
+	bk := e.backend
 
 	var total combineStats
 	if e.parallel() {
 		ranges := e.splitPatterns()
 		stats := make([]combineStats, len(ranges))
 		e.runParallel(ranges, func(pr patRange, slot int) {
-			stats[slot] = work(pr)
+			stats[slot] = bk.combineRange(c, op, pr, slot)
 		})
 		for _, st := range stats {
 			total.add(st)
 		}
 	} else {
-		total = work(patRange{0, e.npat})
+		total = bk.combineRange(c, op, patRange{0, e.npat}, 0)
 	}
 	c.meter.Muls += total.muls
 	c.meter.Adds += total.adds
@@ -282,97 +226,11 @@ func (v *Views) InsertionScore(cand *phylotree.Node, sub *phylotree.Node, z0 flo
 func (c *Ctx) newtonOnBranch(pLv []float64, pSc []int32, q *phylotree.Node, qLv []float64, qSc []int32, z0 float64) (float64, float64, error) {
 	e := c.eng
 	c.meter.MakenewzCalls++
-	g := e.Mod.GTR
-	ncat := e.ncat
-
-	sumTab := c.sumTab
-	scaleConst := 0.0
 	var qData []byte
 	if q.IsTip() {
 		qData = e.Pat.Data[q.Index]
 	}
-	for pat := 0; pat < e.npat; pat++ {
-		base := pat * ncat * ns
-		sc := pSc[pat]
-		if qSc != nil {
-			sc += qSc[pat]
-		}
-		scaleConst += float64(e.Pat.Weights[pat]) * float64(sc) * logMinLik
-		for cat := 0; cat < ncat; cat++ {
-			x := pLv[base+cat*ns:]
-			var y [ns]float64
-			if qData != nil {
-				y = e.tipVec[qData[pat]&0x0f]
-			} else {
-				copy(y[:], qLv[base+cat*ns:][:ns])
-			}
-			for k := 0; k < ns; k++ {
-				a, b := 0.0, 0.0
-				for i := 0; i < ns; i++ {
-					a += g.Freqs[i] * x[i] * g.V[i][k]
-					b += g.VInv[k][i] * y[i]
-				}
-				sumTab[base+cat*ns+k] = a * b
-			}
-		}
-	}
-	c.meter.Muls += uint64(e.npat * ncat * ns * (3*ns + 1))
-	c.meter.Adds += uint64(e.npat * ncat * ns * 2 * (ns - 1))
-
-	lamr := c.lamr
-	for cat := 0; cat < e.nmat; cat++ {
-		for k := 0; k < ns; k++ {
-			lamr[cat*ns+k] = g.Lambda[k] * e.Mod.Cats[cat]
-		}
-	}
-
-	weights := e.Pat.Weights
-	likelihoodAt := func(t float64) (ll, d1, d2 float64) {
-		// Context-owned exponential blocks: this closure runs once per
-		// Newton iteration and must stay allocation-free.
-		e0, e1, e2 := c.newzE0, c.newzE1, c.newzE2
-		for i, lr := range lamr {
-			ex := e.expFn(lr * t)
-			e0[i] = ex
-			e1[i] = lr * ex
-			e2[i] = lr * lr * ex
-		}
-		c.meter.Exps += uint64(e.nmat * ns)
-		ll, d1, d2 = c.newtonReduce(sumTab, e0, e1, e2, weights)
-		return ll + scaleConst, d1, d2
-	}
-
-	t := z0
-	bestT, bestLL := t, math.Inf(-1)
-	for iter := 0; iter < newtonMaxIter; iter++ {
-		c.meter.NewtonIters++
-		ll, d1, d2 := likelihoodAt(t)
-		if ll > bestLL {
-			bestLL, bestT = ll, t
-		}
-		var next float64
-		if d2 < 0 {
-			next = t - d1/d2
-		} else if d1 > 0 {
-			next = t * 2
-		} else {
-			next = t / 2
-		}
-		if next < phylotree.MinBranchLength {
-			next = phylotree.MinBranchLength
-		}
-		if next > phylotree.MaxBranchLength {
-			next = phylotree.MaxBranchLength
-		}
-		if math.Abs(next-t) < newtonTol*(1+t) {
-			t = next
-			break
-		}
-		t = next
-	}
-	ll, _, _ := likelihoodAt(t)
-	if ll >= bestLL {
-		bestLL, bestT = ll, t
-	}
+	scaleConst := c.buildSumTable(pLv, pSc, qData, qLv, qSc)
+	bestT, bestLL := c.newtonSolve(z0, scaleConst)
 	return bestT, bestLL, nil
 }

@@ -22,8 +22,15 @@ import (
 // times per inference. Those buffers belong on the per-search context
 // (searchCtx), reused across rounds.
 //
+// The compute backends (backend_scalar.go, backend_batched.go) are the
+// same hot 90% behind an interface: their range methods (combineRange,
+// evaluateRange, sumTableRange, newtonRange) and tile helpers run per
+// pattern block, so the fragments below include tile/sumtable/newton to
+// keep every backend implementation in scope.
+//
 // Inside functions whose name contains combine/newview/makenewz/evaluate/
-// fastexp/spr/nni/insertion (case-insensitive), the analyzer reports:
+// fastexp/spr/nni/insertion/tile/sumtable/newton (case-insensitive), the
+// analyzer reports:
 //
 //   - make(), append(), new() and slice/map composite literals inside any
 //     loop — preallocate scratch buffers on the Engine (kernels) or the
@@ -42,7 +49,7 @@ var HotPathAlloc = &Analyzer{
 	Run: runHotPathAlloc,
 }
 
-var hotFuncFragments = []string{"combine", "newview", "makenewz", "evaluate", "fastexp", "spr", "nni", "insertion"}
+var hotFuncFragments = []string{"combine", "newview", "makenewz", "evaluate", "fastexp", "spr", "nni", "insertion", "tile", "sumtable", "newton"}
 
 func isHotFuncName(name string) bool {
 	lower := strings.ToLower(name)

@@ -39,3 +39,15 @@ func suppressedBitExact(a, b float64) bool {
 	//lint:ignore floatcmp replay check: kernels must reproduce bit-identical values
 	return a == b
 }
+
+// backendEpilogue mimics the compute-backend per-pattern epilogue: the
+// underflow clamp compares against a non-zero constant and is reported,
+// while the branch-length "did it change at all" cache check is a
+// deliberate bit-exact comparison carrying the suppression directive.
+func backendEpilogue(site, z, zEntry float64) bool {
+	if site == 4.9e-324 { // want `floating-point == comparison`
+		return false
+	}
+	//lint:ignore floatcmp cache-invalidation check: any bit change must invalidate
+	return z != zEntry
+}

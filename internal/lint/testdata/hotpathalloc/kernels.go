@@ -1,7 +1,9 @@
 // Golden input for the hotpathalloc analyzer: this file pretends to live in
 // raxmlcell/internal/likelihood. Functions whose names contain
-// combine/newview/makenewz/evaluate/fastexp are kernels; allocations in
-// their loops or closures and raw math.Exp calls are reported.
+// combine/newview/makenewz/evaluate/fastexp/tile/sumtable/newton are
+// kernels (the last three cover the compute-backend range methods and
+// their tile helpers); allocations in their loops or closures and raw
+// math.Exp calls are reported.
 package likelihood
 
 import (
@@ -50,6 +52,33 @@ func newviewPreallocated(pats int) []float64 {
 func fastexpSuppressed(x float64) float64 {
 	//lint:ignore hotpathalloc reference implementation compared against in calibration
 	return math.Exp(x)
+}
+
+// projectInnerTileAlloc mimics a batched-backend tile helper: the "tile"
+// fragment places it in the hot set.
+func projectInnerTileAlloc(lo, hi int) []float64 {
+	var out []float64
+	for pat := lo; pat < hi; pat++ {
+		row := make([]float64, 4) // want `make allocates inside a per-pattern loop`
+		out = append(out, row...) // want `append inside a per-pattern loop`
+	}
+	return out
+}
+
+// sumTableRangeScratch mimics a backend sumTableRange: scratch hoisted
+// outside the loop is allowed, per-pattern allocation is not.
+func sumTableRangeScratch(sumTab []float64, npat int) {
+	scratch := make([]float64, 4) // outside the loop: allowed
+	for pat := 0; pat < npat; pat++ {
+		tmp := map[int]float64{pat: 1} // want `slice/map literal allocates inside a per-pattern loop`
+		sumTab[pat] = scratch[0] + tmp[pat]
+	}
+}
+
+// newtonRangeExp mimics a backend newtonRange: the exp blocks must come
+// through the engine's configured expFn, never raw math.Exp.
+func newtonRangeExp(x float64) float64 {
+	return math.Exp(x) // want `raw math.Exp in kernel newtonRangeExp`
 }
 
 // notAKernel is outside the hot set: the same patterns are allowed.

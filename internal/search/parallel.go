@@ -2,11 +2,20 @@ package search
 
 import (
 	"math"
+	"runtime"
 
 	"raxmlcell/internal/likelihood"
 	"raxmlcell/internal/obs"
 	"raxmlcell/internal/phylotree"
 )
+
+// AutoWorkers returns the default search-worker fan-out for this process:
+// one worker per schedulable CPU (GOMAXPROCS). Callers that expose a
+// -search-workers knob should treat 0 as "auto" and resolve it through
+// this function before filling Options.Workers, so that Options itself
+// keeps its stable contract (Workers <= 1 means serial — a zero value
+// never silently spawns a pool).
+func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // The paper layers task-level parallelism (EDTLP, and at scale MGPS) on
 // top of the loop-level parallelism inside each kernel: independent
