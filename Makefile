@@ -50,15 +50,18 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzLoadCheckpoint -fuzztime=$(FUZZTIME) ./internal/mw
 
-# lint mirrors the CI gates that need no network: gofmt, go vet, and the
-# project invariant suite (cmd/raxmlvet) driven through the vet tool
-# protocol. staticcheck/govulncheck run in CI where their pinned versions
-# are installed.
+# lint mirrors the CI gates that need no network: gofmt, go vet, the
+# seven-analyzer project invariant suite (cmd/raxmlvet) driven through
+# the vet tool protocol, and the standalone self-lint of the commands and
+# the lint engine itself (which also audits //lint:ignore directives).
+# staticcheck/govulncheck run in CI where their pinned versions are
+# installed.
 lint: raxmlvet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed for:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(CURDIR)/$(BIN)/raxmlvet ./...
+	$(BIN)/raxmlvet ./cmd/... ./internal/lint/...
 
 raxmlvet:
 	@mkdir -p $(BIN)

@@ -1,18 +1,27 @@
 // Command raxmlvet is the project's static-analysis suite (see
-// internal/lint): four analyzers that enforce simulator determinism
-// (simdeterminism), incremental-cache coherence (invalidatepair), kernel
-// allocation discipline (hotpathalloc) and tolerance-based float comparison
-// (floatcmp).
+// internal/lint): seven analyzers that enforce simulator determinism
+// (simdeterminism, plus its interprocedural extension nondettaint),
+// incremental-cache coherence (invalidatepair), kernel allocation
+// discipline (hotpathalloc), tolerance-based float comparison (floatcmp),
+// kernel-context ownership under task parallelism (ctxownership) and
+// backend kernel purity (backendpurity). Every run also audits
+// //lint:ignore directives and reports the ones that no longer suppress
+// anything (unusedsuppression).
 //
 // It runs in two modes:
 //
-//	raxmlvet [packages]             standalone; defaults to ./...
+//	raxmlvet [-json] [packages]     standalone; defaults to ./...
 //	go vet -vettool=$(which raxmlvet) ./...
 //
 // In the second form the go command drives raxmlvet through the vet tool
 // protocol: a -V=full version query for build caching, then one invocation
-// per package with a JSON config file argument. Exit status is non-zero
-// when any finding is reported.
+// per package with a JSON config file argument; cross-package analysis
+// facts travel through the .vetx files of the same protocol. Exit status
+// is non-zero when any finding is reported.
+//
+// -json prints the findings as one stable, sorted JSON array
+// ({analyzer, file, line, col, message}) instead of text — the feed CI
+// turns into GitHub annotations.
 package main
 
 import (
@@ -57,8 +66,18 @@ func main() {
 		os.Exit(unitcheck(args[0]))
 	}
 
-	// Standalone mode.
-	clean, err := lint.Main(os.Stdout, "", args...)
+	// Standalone mode. The go command never forwards flags (we advertise
+	// none in the -flags reply), so -json is purely a standalone switch.
+	jsonOut := false
+	patterns := args[:0:0]
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOut = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
+	clean, err := lint.Main(os.Stdout, "", jsonOut, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raxmlvet:", err)
 		os.Exit(1)

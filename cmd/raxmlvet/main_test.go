@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -13,7 +14,10 @@ import (
 // TestRegistersAllAnalyzers pins the analyzer set: dropping one from the
 // registry would silently weaken CI, so the exact names are asserted.
 func TestRegistersAllAnalyzers(t *testing.T) {
-	want := []string{"simdeterminism", "invalidatepair", "hotpathalloc", "floatcmp"}
+	want := []string{
+		"simdeterminism", "nondettaint", "invalidatepair", "hotpathalloc",
+		"floatcmp", "ctxownership", "backendpurity",
+	}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(all), len(want))
@@ -128,6 +132,134 @@ func TestStandaloneMode(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "wall-clock time.Now") {
 		t.Fatalf("missing finding in output:\n%s", out)
+	}
+}
+
+// writeLaunderModule lays out a module where the nondeterminism is
+// laundered across a package boundary: internal/util wraps time.Now()
+// behind two helpers, internal/sim calls the outer one. Only the
+// cross-package facts pass can connect the call to the clock, so these
+// tests prove the facts round-trip end-to-end in both driver modes.
+func writeLaunderModule(t *testing.T, dir string) {
+	t.Helper()
+	files := map[string]string{
+		"go.mod": "module lintprobe\n\ngo 1.24\n",
+		"internal/util/util.go": `package util
+
+import "time"
+
+func Stamp() int64 { return stamp() }
+
+func stamp() int64 { return time.Now().UnixNano() }
+`,
+		"internal/sim/sim.go": `package sim
+
+import "lintprobe/internal/util"
+
+func Tick() int64 { return util.Stamp() }
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestVettoolFactsRoundTrip drives go vet -vettool over the laundering
+// module: the util package's facts travel through its .vetx file into
+// the sim package's invocation, where the frontier call is flagged.
+func TestVettoolFactsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and invokes the go toolchain")
+	}
+	bin := buildRaxmlvet(t)
+	dir := t.TempDir()
+	writeLaunderModule(t, dir)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed on cross-package laundered time.Now\n%s", out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "nondettaint") {
+		t.Fatalf("failure not attributed to nondettaint:\n%s", s)
+	}
+	if !strings.Contains(s, "call to util.Stamp") || !strings.Contains(s, "calls util.stamp, which reads the wall clock via time.Now") {
+		t.Fatalf("missing interprocedural witness chain:\n%s", s)
+	}
+}
+
+// TestStandaloneFactsRoundTrip proves the go-list loader threads the
+// same facts in memory, and that -json emits the stable CI feed.
+func TestStandaloneFactsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and invokes the go toolchain")
+	}
+	bin := buildRaxmlvet(t)
+	dir := t.TempDir()
+	writeLaunderModule(t, dir)
+
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit code 2 for findings, got %v\n%s", err, out)
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out, &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1:\n%s", len(findings), out)
+	}
+	f := findings[0]
+	if f.Analyzer != "nondettaint" || f.File != filepath.Join("internal", "sim", "sim.go") ||
+		f.Line == 0 || f.Col == 0 ||
+		!strings.Contains(f.Message, "calls util.stamp, which reads the wall clock") {
+		t.Fatalf("unexpected finding: %+v", f)
+	}
+}
+
+// TestUnusedSuppressionAudit checks the end-to-end audit: a directive
+// that suppresses nothing is itself a finding, in both output modes.
+func TestUnusedSuppressionAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and invokes the go toolchain")
+	}
+	bin := buildRaxmlvet(t)
+	dir := t.TempDir()
+	writeProbeModule(t, dir, false)
+	stale := `package sim
+
+// The directive below covers a line with no finding: stale.
+//lint:ignore simdeterminism pretends to guard a wall-clock read
+func Quiet() int64 { return 1 }
+`
+	if err := os.WriteFile(filepath.Join(dir, "internal", "sim", "stale.go"), []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit code 2 for a stale directive, got %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "unusedsuppression") ||
+		!strings.Contains(s, "//lint:ignore simdeterminism directive suppresses nothing") {
+		t.Fatalf("stale directive not reported:\n%s", s)
 	}
 }
 

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"go/token"
 	"os"
+	"sort"
 
 	"raxmlcell/internal/lint"
 )
@@ -33,8 +35,59 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// moduleLocal reports whether the package under analysis belongs to the
+// module being vetted. Only module-local packages get the (comparatively
+// expensive) source parse + typecheck on dependency passes: the
+// interprocedural analyzers recognize standard-library nondeterminism
+// directly at call sites, so no facts need to be mined from GOROOT.
+func (cfg *vetConfig) moduleLocal() bool {
+	return cfg.ModulePath != "" && !cfg.Standard[cfg.ImportPath]
+}
+
+// writeVetx persists the package's exported facts (nil = none) to the
+// path the go command designated. The go command threads the file into
+// dependent packages' PackageVetx maps and caches it under the vet tool's
+// buildID, so a rebuilt raxmlvet re-mines facts automatically.
+func writeVetx(cfg *vetConfig, facts *lint.FactSet) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	if facts == nil {
+		facts = lint.NewFactSet()
+	}
+	return os.WriteFile(cfg.VetxOutput, facts.Encode(), 0o666)
+}
+
+// readDepFacts merges the fact files of every dependency the go command
+// handed us. Unreadable or unrecognized files (e.g. written by a
+// pre-fact raxmlvet before the cache key rolled) degrade to no facts
+// rather than failing the build.
+func readDepFacts(cfg *vetConfig) *lint.FactSet {
+	facts := lint.NewFactSet()
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil {
+			continue
+		}
+		fs, err := lint.DecodeFacts(bytes.NewReader(data))
+		if err != nil {
+			continue
+		}
+		facts.Merge(fs)
+	}
+	return facts
+}
+
 // unitcheck analyzes the single package described by cfgFile and returns
 // the process exit code: 0 clean, 1 tool/typecheck error, 2 findings.
+// Dependency passes (VetxOnly) run only the fact-producing analyzers and
+// report nothing; target passes run the full suite plus the
+// unused-suppression audit.
 func unitcheck(cfgFile string) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -47,24 +100,29 @@ func unitcheck(cfgFile string) int {
 		return 1
 	}
 
-	// The go command propagates analysis facts between packages through
-	// the Vetx files. This suite is fact-free, but the output file must
-	// exist for the go command to cache the (empty) result.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("raxmlvet: no facts\n"), 0o666); err != nil {
+	// Fast path: a dependency outside the module carries no project
+	// facts, so skip the typecheck and publish an empty fact file.
+	if cfg.VetxOnly && !cfg.moduleLocal() {
+		if err := writeVetx(&cfg, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "raxmlvet:", err)
 			return 1
 		}
+		return 0
 	}
-	if cfg.VetxOnly {
-		return 0 // dependency pass: facts only, no diagnostics wanted
+
+	emptyOut := func(code int) int {
+		if err := writeVetx(&cfg, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "raxmlvet:", err)
+			return 1
+		}
+		return code
 	}
 
 	fset := token.NewFileSet()
 	files, err := lint.ParseFiles(fset, cfg.GoFiles)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return emptyOut(0)
 		}
 		fmt.Fprintln(os.Stderr, "raxmlvet:", err)
 		return 1
@@ -79,13 +137,19 @@ func unitcheck(cfgFile string) int {
 	pkg, err := lint.TypeCheck(fset, cfg.ImportPath, cfg.GoVersion, files, imp)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return emptyOut(0)
 		}
 		fmt.Fprintln(os.Stderr, "raxmlvet:", err)
 		return 1
 	}
+	pkg.Imported = readDepFacts(&cfg)
+	pkg.FactsOnly = cfg.VetxOnly
 
-	diags := lint.Run(pkg, lint.All())
+	diags := lint.RunWithAudit(pkg, lint.All())
+	if err := writeVetx(&cfg, pkg.Exported); err != nil {
+		fmt.Fprintln(os.Stderr, "raxmlvet:", err)
+		return 1
+	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n",
 			d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)

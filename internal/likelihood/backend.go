@@ -2,7 +2,8 @@ package likelihood
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 )
 
 // Backend is the compute contract behind the engine: the per-pattern inner
@@ -152,12 +153,7 @@ func RegisterBackend(name string, factory func() Backend) {
 // Backends lists the registered backend names, sorted, for flag help and
 // for harnesses that cross-validate every backend.
 func Backends() []string {
-	names := make([]string, 0, len(backendRegistry))
-	for name := range backendRegistry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
+	return slices.Sorted(maps.Keys(backendRegistry))
 }
 
 // newBackend resolves a Config.Backend value ("" selects DefaultBackend).

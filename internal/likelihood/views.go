@@ -21,6 +21,7 @@ type Views struct {
 	ctx   *Ctx
 	lv    map[*phylotree.Node][]float64
 	scale map[*phylotree.Node][]int32
+	order []*phylotree.Node // memoization order, so Release is deterministic
 }
 
 // NewViews creates an empty view table over the engine's current model,
@@ -40,14 +41,20 @@ func (c *Ctx) NewViews() *Views {
 
 // Release returns all cached buffers to the owning context's pool.
 func (v *Views) Release() {
-	for r, buf := range v.lv {
-		v.ctx.lvPool = append(v.ctx.lvPool, buf)
-		delete(v.lv, r)
+	// Iterate in memoization order, not map order: the pools are stacks, so
+	// return order decides which buffer each future view reuses, and replay
+	// must hand out identical buffers.
+	for _, r := range v.order {
+		if buf, ok := v.lv[r]; ok {
+			v.ctx.lvPool = append(v.ctx.lvPool, buf)
+			delete(v.lv, r)
+		}
+		if sc, ok := v.scale[r]; ok {
+			v.ctx.scPool = append(v.ctx.scPool, sc)
+			delete(v.scale, r)
+		}
 	}
-	for r, sc := range v.scale {
-		v.ctx.scPool = append(v.ctx.scPool, sc)
-		delete(v.scale, r)
-	}
+	v.order = v.order[:0]
 }
 
 func (c *Ctx) getLvBuf() []float64 {
@@ -101,6 +108,7 @@ func (v *Views) Vector(r *phylotree.Node) ([]float64, []int32, error) {
 	v.ctx.combine(q, r.Next.Z, qLv, qSc, w, r.Next.Next.Z, wLv, wSc, dst, dsc)
 	v.lv[r] = dst
 	v.scale[r] = dsc
+	v.order = append(v.order, r)
 	return dst, dsc, nil
 }
 

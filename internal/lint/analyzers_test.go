@@ -37,6 +37,31 @@ func TestFloatCmpGolden(t *testing.T) {
 	linttest.Run(t, lint.FloatCmp, "raxmlcell/internal/model", "testdata/floatcmp")
 }
 
+// TestNondetTaintGolden is the two-package interprocedural case: the
+// util package (outside the deterministic scope) is analyzed first for
+// facts, then the sim package's calls into its tainted helpers are
+// flagged at the frontier with cross-package witness chains.
+func TestNondetTaintGolden(t *testing.T) {
+	linttest.RunPkgs(t, lint.NondetTaint, []linttest.PkgSpec{
+		{Path: "raxmlcell/internal/util", Dir: "testdata/nondettaint/util"},
+		{Path: "raxmlcell/internal/sim", Dir: "testdata/nondettaint"},
+	})
+}
+
+// TestCtxOwnershipGolden types the owned values in a miniature
+// likelihood package and violates the ownership rules from a dependent
+// search package — the cross-package half of the invariant.
+func TestCtxOwnershipGolden(t *testing.T) {
+	linttest.RunPkgs(t, lint.CtxOwnership, []linttest.PkgSpec{
+		{Path: "raxmlcell/internal/likelihood", Dir: "testdata/ctxownership/likelihood"},
+		{Path: "raxmlcell/internal/search", Dir: "testdata/ctxownership"},
+	})
+}
+
+func TestBackendPurityGolden(t *testing.T) {
+	linttest.Run(t, lint.BackendPurity, "raxmlcell/internal/likelihood", "testdata/backendpurity")
+}
+
 // TestScopedAnalyzersSilentOutOfScope runs each scoped analyzer against a
 // golden package that would be riddled with findings in scope, under an
 // import path outside its jurisdiction: nothing may be reported.
@@ -54,9 +79,14 @@ func TestScopedAnalyzersSilentOutOfScope(t *testing.T) {
 			if c.a.Match("raxmlcell/internal/alignment") {
 				t.Fatalf("%s unexpectedly matches internal/alignment", c.a.Name)
 			}
-			// FloatCmp has no Match and must cover everything.
+			// FloatCmp has no Match and must cover everything; NondetTaint
+			// has no Match because its fact pass must run everywhere
+			// (reporting is gated on the sim scope inside Run).
 			if lint.FloatCmp.Match != nil {
 				t.Fatal("floatcmp should be unscoped")
+			}
+			if lint.NondetTaint.Match != nil {
+				t.Fatal("nondettaint must run (for facts) on every package")
 			}
 		})
 	}
@@ -84,6 +114,13 @@ func TestAnalyzerScopes(t *testing.T) {
 		{lint.HotPathAlloc, "raxmlcell/internal/likelihood", true},
 		{lint.HotPathAlloc, "raxmlcell/internal/search", true},
 		{lint.HotPathAlloc, "raxmlcell/internal/core", false},
+		{lint.CtxOwnership, "raxmlcell/internal/likelihood", true},
+		{lint.CtxOwnership, "raxmlcell/internal/search", true},
+		{lint.CtxOwnership, "raxmlcell/internal/core", true},
+		{lint.CtxOwnership, "raxmlcell/cmd/raxmlcell", true},
+		{lint.CtxOwnership, "raxmlcell/internal/sim", false},
+		{lint.BackendPurity, "raxmlcell/internal/likelihood", true},
+		{lint.BackendPurity, "raxmlcell/internal/search", false},
 	}
 	for _, c := range cases {
 		if got := c.a.Match(c.path); got != c.want {

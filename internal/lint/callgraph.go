@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the package-local static call graph: one node per function
+// or method declared in the package (test files excluded, like every
+// analyzer in the suite), each listing the statically resolved calls its
+// body makes — to other functions of the package or to imported ones.
+//
+// Resolution is deliberately conservative and syntactic:
+//
+//   - calls through function values, fields and interface methods are not
+//     edges (the callee is unknown at type-check time). The fault.Clock
+//     injection seam relies on exactly this: wall-clock implementations
+//     are only ever reached through an interface, so taint stops at the
+//     injection boundary by construction;
+//   - calls inside nested function literals are attributed to the
+//     enclosing declaration, whether or not the literal escapes — an
+//     over-approximation that errs toward reporting;
+//   - generic instantiations resolve to their origin declaration.
+type CallGraph struct {
+	// Nodes maps each declared function object to its graph node, and
+	// Order lists the nodes by source position so fixed-point passes
+	// iterate deterministically.
+	Nodes map[*types.Func]*CallNode
+	Order []*CallNode
+}
+
+// CallNode is one declared function with its outgoing static calls.
+type CallNode struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Calls []CallSite
+}
+
+// CallSite is one resolved call expression inside a node's body.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee *types.Func
+}
+
+// CallGraph returns the package's call graph, building it on first use;
+// the graph is shared by every analyzer pass over the package.
+func (p *Pass) CallGraph() *CallGraph {
+	if p.Package.cg == nil {
+		p.Package.cg = buildCallGraph(p.Package)
+	}
+	return p.Package.cg
+}
+
+func buildCallGraph(pkg *Package) *CallGraph {
+	cg := &CallGraph{Nodes: make(map[*types.Func]*CallNode)}
+	pass := &Pass{Package: pkg} // for NonTestFiles only
+	for _, f := range pass.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &CallNode{Fn: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := StaticCallee(pkg.Info, call); callee != nil {
+					node.Calls = append(node.Calls, CallSite{Call: call, Callee: callee})
+				}
+				return true
+			})
+			cg.Nodes[fn] = node
+			cg.Order = append(cg.Order, node)
+		}
+	}
+	sort.Slice(cg.Order, func(i, j int) bool {
+		return cg.Order[i].Decl.Pos() < cg.Order[j].Decl.Pos()
+	})
+	return cg
+}
+
+// StaticCallee resolves a call expression to the concrete function or
+// method it statically invokes, or nil when the callee is dynamic: a
+// function value, an interface method, or a type conversion. Generic
+// instantiations resolve to the origin declaration, so facts attach to
+// the source-level function.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		// Method value/expression calls and qualified identifiers both
+		// resolve through Uses of the selected name. Interface methods
+		// are abstract and excluded below.
+		id = fun.Sel
+	case *ast.IndexExpr:
+		// Explicit generic instantiation f[T](...).
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	fn = fn.Origin()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil // dynamic dispatch: the concrete method is unknown
+		}
+	}
+	return fn
+}

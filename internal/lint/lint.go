@@ -41,6 +41,13 @@ type Analyzer struct {
 	// satisfies it; nil means every package.
 	Match func(pkgPath string) bool
 
+	// Facts marks the analyzer as interprocedural: it exports facts about
+	// package-level functions for downstream packages. Fact analyzers run
+	// on every loaded package — including dependency-only passes where
+	// diagnostics are discarded (Package.FactsOnly) — so taint can follow
+	// calls into packages outside the analyzer's reporting scope.
+	Facts bool
+
 	// Run inspects the package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -56,6 +63,20 @@ type Package struct {
 	// files when the loader saw them. Analyzers use Pass.NonTestFiles to
 	// skip test sources.
 	Files []*ast.File
+
+	// Imported carries the facts of this package's dependencies (merged);
+	// nil means no facts are available. Exported collects the facts the
+	// fact-producing analyzers derive about this package; Run fills it.
+	Imported *FactSet
+	Exported *FactSet
+
+	// FactsOnly marks a dependency pass: only fact-producing analyzers
+	// run and every diagnostic is discarded. The standalone loader sets
+	// it for module-local dependencies outside the requested patterns;
+	// the vet driver sets it for VetxOnly invocations.
+	FactsOnly bool
+
+	cg *CallGraph // lazily built package-local call graph, see Pass.CallGraph
 }
 
 // Pass carries one analyzer's view of one package.
@@ -64,6 +85,22 @@ type Pass struct {
 	*Package
 
 	diags *[]Diagnostic
+}
+
+// ImportedFact looks up a fact recorded on fn by the analysis of another
+// package (threaded through .vetx files under go vet, or in memory in the
+// standalone loader).
+func (p *Pass) ImportedFact(fn *types.Func, name string) (string, bool) {
+	if p.Imported == nil {
+		return "", false
+	}
+	return p.Imported.Get(ObjectKey(fn), name)
+}
+
+// ExportFact records a fact about fn (a function declared in this
+// package) for downstream packages.
+func (p *Pass) ExportFact(fn *types.Func, name, value string) {
+	p.Exported.Add(ObjectKey(fn), name, value)
 }
 
 // Diagnostic is one finding, attributed to the analyzer that produced it.
@@ -105,16 +142,69 @@ func (p *Pass) NonTestFiles() []*ast.File {
 // Run executes the analyzers over the package and returns the surviving
 // diagnostics: findings on lines covered by a matching //lint:ignore
 // directive are dropped. Results are ordered by position then analyzer.
+// On a FactsOnly package only fact-producing analyzers run and no
+// diagnostics are returned; either way pkg.Exported holds the facts the
+// pass derived.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := run(pkg, analyzers)
+	return diags
+}
+
+// RunWithAudit is Run plus the suppression audit: any //lint:ignore
+// directive that suppressed nothing — and whose named analyzers were all
+// part of this run, so absence of a finding is meaningful — produces an
+// "unusedsuppression" diagnostic. The drivers run the full suite through
+// it so suppression debt cannot accumulate silently.
+func RunWithAudit(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags, sups := run(pkg, analyzers)
+	if pkg.FactsOnly {
+		return diags
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, byLine := range sups {
+		for _, s := range byLine {
+			if s.used || !s.auditable(ran) {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "unusedsuppression",
+				Pos:      s.pos,
+				Message:  fmt.Sprintf("//lint:ignore %s directive suppresses nothing; remove it (or fix the analyzer name)", s.names),
+			})
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+func run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, map[string]map[int]*suppression) {
+	if pkg.Exported == nil {
+		pkg.Exported = NewFactSet()
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if pkg.FactsOnly && !a.Facts {
+			continue
+		}
 		if a.Match != nil && !a.Match(pkg.Path) {
 			continue
 		}
 		pass := &Pass{Analyzer: a, Package: pkg, diags: &diags}
 		a.Run(pass)
 	}
-	diags = filterSuppressed(pkg, diags)
+	if pkg.FactsOnly {
+		return nil, nil
+	}
+	sups := suppressions(pkg)
+	diags = filterSuppressed(sups, diags)
+	sortDiagnostics(diags)
+	return diags, sups
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -128,7 +218,6 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // ignoreRe matches suppression directives:
@@ -142,11 +231,14 @@ var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+(.+)$`)
 
 type suppression struct {
 	analyzers map[string]bool // nil means all
+	names     string          // the directive's name list, verbatim, for audit messages
+	pos       token.Position  // directive position, for audit diagnostics
+	used      bool            // the directive suppressed at least one finding this run
 }
 
 // suppressions maps filename -> line -> directive for the package.
-func suppressions(pkg *Package) map[string]map[int]suppression {
-	out := make(map[string]map[int]suppression)
+func suppressions(pkg *Package) map[string]map[int]*suppression {
+	out := make(map[string]map[int]*suppression)
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -154,17 +246,17 @@ func suppressions(pkg *Package) map[string]map[int]suppression {
 				if m == nil {
 					continue
 				}
-				sup := suppression{}
+				pos := pkg.Fset.Position(c.Pos())
+				sup := &suppression{names: m[1], pos: pos}
 				if m[1] != "all" {
 					sup.analyzers = make(map[string]bool)
 					for _, name := range strings.Split(m[1], ",") {
 						sup.analyzers[name] = true
 					}
 				}
-				pos := pkg.Fset.Position(c.Pos())
 				byLine := out[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]suppression)
+					byLine = make(map[int]*suppression)
 					out[pos.Filename] = byLine
 				}
 				byLine[pos.Line] = sup
@@ -174,20 +266,39 @@ func suppressions(pkg *Package) map[string]map[int]suppression {
 	return out
 }
 
-func (s suppression) covers(analyzer string) bool {
+func (s *suppression) covers(analyzer string) bool {
 	return s.analyzers == nil || s.analyzers[analyzer]
 }
 
-func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
-	sups := suppressions(pkg)
+// auditable reports whether an unmatched directive is a finding: every
+// analyzer it names must have run in this pass, otherwise the absence of
+// a match says nothing (linttest runs one analyzer at a time, and its
+// testdata directives for other analyzers must not trip the audit).
+// Directives in _test.go files are auditable too — the suite skips test
+// sources entirely, so a directive there is stale by definition.
+func (s *suppression) auditable(ran map[string]bool) bool {
+	if s.analyzers == nil {
+		return true // "all": any full-suite run can judge it
+	}
+	for name := range s.analyzers {
+		if !ran[name] {
+			return false
+		}
+	}
+	return true
+}
+
+func filterSuppressed(sups map[string]map[int]*suppression, diags []Diagnostic) []Diagnostic {
 	var out []Diagnostic
 	for _, d := range diags {
 		byLine := sups[d.Pos.Filename]
 		if byLine != nil {
 			if s, ok := byLine[d.Pos.Line]; ok && s.covers(d.Analyzer) {
+				s.used = true
 				continue
 			}
 			if s, ok := byLine[d.Pos.Line-1]; ok && s.covers(d.Analyzer) {
+				s.used = true
 				continue
 			}
 		}

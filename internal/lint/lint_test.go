@@ -78,14 +78,21 @@ var missingReason = 3
 	}
 
 	// Filtering: a diagnostic on the directive line and on the next line
-	// are both covered; two lines below is not.
+	// are both covered; two lines below is not. The directive that fired
+	// is marked used, the others stay unused for the audit.
 	diags := []Diagnostic{
 		{Analyzer: "floatcmp", Pos: token.Position{Filename: "p.go", Line: 4}},
 		{Analyzer: "floatcmp", Pos: token.Position{Filename: "p.go", Line: 5}},
 	}
-	out := filterSuppressed(pkg, diags)
+	out := filterSuppressed(sups, diags)
 	if len(out) != 1 || out[0].Pos.Line != 5 {
 		t.Errorf("filterSuppressed kept %v, want only the line-5 finding", out)
+	}
+	if !byLine[3].used {
+		t.Error("line-3 directive suppressed the line-4 finding but is not marked used")
+	}
+	if byLine[7].used || byLine[11].used {
+		t.Error("directives that matched nothing must stay unused")
 	}
 }
 

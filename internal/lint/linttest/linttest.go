@@ -8,6 +8,12 @@
 // mismatch in either direction. Suppressed findings (//lint:ignore) are
 // filtered before matching, so the suppression path is golden-tested by
 // writing a directive and no want comment.
+//
+// RunPkgs is the multi-package variant for the interprocedural
+// analyzers: it type-checks several testdata packages in dependency
+// order with a shared fact set — the same threading both raxmlvet
+// drivers perform — so golden cases can launder a property through a
+// helper package and expect the finding in the dependent one.
 package linttest
 
 import (
@@ -34,20 +40,72 @@ var (
 	stdSource = importer.ForCompiler(fset, "source", nil)
 )
 
-type lockedImporter struct{}
+// chainImporter resolves the already-typechecked testdata packages of a
+// RunPkgs sequence first and falls back to stdlib source for the rest.
+type chainImporter struct {
+	local map[string]*types.Package
+}
 
-func (lockedImporter) Import(path string) (*types.Package, error) {
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.local[path]; ok {
+		return pkg, nil
+	}
 	impMu.Lock()
 	defer impMu.Unlock()
 	return stdSource.Import(path)
 }
 
+// PkgSpec names one package of a multi-package golden case: the .go
+// files of Dir are analyzed under the pretend import path Path (so
+// Analyzer.Match and import statements see realistic paths). Order
+// matters: dependencies must precede their importers, exactly like the
+// go list -deps order the standalone loader consumes.
+type PkgSpec struct {
+	Path string
+	Dir  string
+}
+
 // Run analyzes the package formed by every .go file in dir under the
-// pretend import path pkgPath (so Analyzer.Match sees a realistic path)
-// and compares the diagnostics against the // want comments.
+// pretend import path pkgPath and compares the diagnostics against the
+// // want comments.
 func Run(t *testing.T, a *lint.Analyzer, pkgPath, dir string) {
 	t.Helper()
+	RunPkgs(t, a, []PkgSpec{{Path: pkgPath, Dir: dir}})
+}
 
+// RunPkgs analyzes the given packages in order with one shared fact set
+// and matches // want comments across all of them. Dependency packages
+// are analyzed for real (not facts-only), so a golden case may also
+// expect findings inside the helper package.
+func RunPkgs(t *testing.T, a *lint.Analyzer, specs []PkgSpec) {
+	t.Helper()
+
+	imp := &chainImporter{local: make(map[string]*types.Package)}
+	facts := lint.NewFactSet()
+	var pkgs []*lint.Package
+	var diags []lint.Diagnostic
+	for _, spec := range specs {
+		files, err := lint.ParseFiles(fset, goFilesIn(t, spec.Dir))
+		if err != nil {
+			t.Fatalf("parsing testdata: %v", err)
+		}
+		pkg, err := lint.TypeCheck(fset, spec.Path, "", files, imp)
+		if err != nil {
+			t.Fatalf("typechecking testdata: %v", err)
+		}
+		imp.local[spec.Path] = pkg.Pkg
+		pkg.Imported = facts
+		diags = append(diags, lint.Run(pkg, []*lint.Analyzer{a})...)
+		facts.Merge(pkg.Exported)
+		pkgs = append(pkgs, pkg)
+	}
+
+	matchWants(t, pkgs, diags)
+}
+
+// goFilesIn lists the non-directory .go files of dir, sorted.
+func goFilesIn(t *testing.T, dir string) []string {
+	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("reading testdata dir: %v", err)
@@ -62,19 +120,18 @@ func Run(t *testing.T, a *lint.Analyzer, pkgPath, dir string) {
 		t.Fatalf("no .go files in %s", dir)
 	}
 	sort.Strings(filenames)
+	return filenames
+}
 
-	files, err := lint.ParseFiles(fset, filenames)
-	if err != nil {
-		t.Fatalf("parsing testdata: %v", err)
+// matchWants compares diagnostics against the want comments of every
+// package, failing on mismatches in either direction.
+func matchWants(t *testing.T, pkgs []*lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+
+	var wants []want
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
 	}
-	pkg, err := lint.TypeCheck(fset, pkgPath, "", files, lockedImporter{})
-	if err != nil {
-		t.Fatalf("typechecking testdata: %v", err)
-	}
-
-	diags := lint.Run(pkg, []*lint.Analyzer{a})
-
-	wants := collectWants(t, pkg)
 	type key struct {
 		file string
 		line int

@@ -27,19 +27,11 @@ type listedPackage struct {
 	Error      *struct{ Err string }
 }
 
-// Load resolves the package patterns (e.g. "./...") with the go tool,
-// building export data for every dependency, and returns the type-checked
-// non-standard target packages ready for analysis. dir is the working
-// directory for the go invocation ("" = current).
-//
-// The loader leans on `go list -export -deps`: the go command compiles each
-// package once into the build cache and reports the export-data file, which
-// is exactly what the type checker needs to resolve imports without
-// re-typechecking the world from source.
-func Load(dir string, patterns ...string) ([]*Package, error) {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
+// goList runs `go list -export -deps` over the patterns and returns the
+// decoded packages in the tool's dependency (depth-first post-) order:
+// every package appears after all of its dependencies, which is exactly
+// the order the interprocedural fact passes need.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
 		"-json=Dir,ImportPath,Export,Standard,DepOnly,GoFiles,CgoFiles,ImportMap,Error",
@@ -52,10 +44,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
+	return parseGoList(bytes.NewReader(out))
+}
 
-	byPath := make(map[string]*listedPackage)
-	var targets []*listedPackage
-	dec := json.NewDecoder(bytes.NewReader(out))
+// parseGoList decodes a `go list -json` stream, preserving order.
+func parseGoList(r io.Reader) ([]*listedPackage, error) {
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(r)
 	for {
 		var lp listedPackage
 		if err := dec.Decode(&lp); err == io.EOF {
@@ -64,16 +59,51 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("go list output: %v", err)
 		}
 		p := lp
-		byPath[p.ImportPath] = &p
-		if !p.Standard && !p.DepOnly {
-			targets = append(targets, &p)
-		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load resolves the package patterns (e.g. "./...") with the go tool,
+// building export data for every dependency, and returns type-checked
+// packages ready for analysis, in dependency order. dir is the working
+// directory for the go invocation ("" = current).
+//
+// Two kinds of package come back: the non-standard packages matched by
+// the patterns, and — marked FactsOnly — their non-standard dependencies
+// outside the patterns, which the interprocedural analyzers still walk so
+// cross-package facts exist wherever calls can lead. Standard-library
+// dependencies are never type-checked from source: the taint analyzers
+// recognize stdlib nondeterminism directly at the call site instead.
+//
+// The loader leans on `go list -export -deps`: the go command compiles each
+// package once into the build cache and reports the export-data file, which
+// is exactly what the type checker needs to resolve imports without
+// re-typechecking the world from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, p := range listed {
+		byPath[p.ImportPath] = p
 	}
 
 	fset := token.NewFileSet()
 	var pkgs []*Package
-	for _, t := range targets {
+	for _, t := range listed {
+		if t.Standard {
+			continue
+		}
 		if t.Error != nil {
+			if t.DepOnly {
+				continue // a broken dependency surfaces on its importer
+			}
 			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
 		}
 		if len(t.GoFiles) == 0 && len(t.CgoFiles) == 0 {
@@ -101,6 +131,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = t.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -124,32 +155,89 @@ func ExportDataImporter(fset *token.FileSet, importMap map[string]string, export
 	return importer.ForCompiler(fset, "gc", lookup)
 }
 
+// Analyze loads the patterns and runs the full suite — including the
+// cross-package fact propagation and the unused-suppression audit — and
+// returns every surviving diagnostic, sorted, with filenames shortened
+// relative to dir.
+func Analyze(dir string, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	facts := NewFactSet()
+	var diags []Diagnostic
+	for _, pkg := range pkgs { // dependency order: facts flow forward
+		pkg.Imported = facts
+		for _, d := range RunWithAudit(pkg, All()) {
+			d.Pos.Filename = shortenPath(d.Pos.Filename, dir)
+			diags = append(diags, d)
+		}
+		facts.Merge(pkg.Exported)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
 // Main is the standalone entry point shared by cmd/raxmlvet: load the
 // patterns, run the full suite, print findings, and report whether any
-// finding was produced. Output lines are "file:line:col: message (analyzer)".
-func Main(w io.Writer, dir string, patterns ...string) (clean bool, err error) {
-	pkgs, err := Load(dir, patterns...)
+// finding was produced. With jsonOut false, output lines are
+// "file:line:col: message (analyzer)"; with jsonOut true, the findings
+// are one stable, sorted JSON array of objects with analyzer / file /
+// line / col / message fields (an empty run prints "[]"), ready for CI to
+// turn into GitHub annotations.
+func Main(w io.Writer, dir string, jsonOut bool, patterns ...string) (clean bool, err error) {
+	diags, err := Analyze(dir, patterns...)
 	if err != nil {
 		return false, err
 	}
-	clean = true
-	for _, pkg := range pkgs {
-		for _, d := range Run(pkg, All()) {
-			clean = false
-			fmt.Fprintf(w, "%s\n", shortenDiag(d, dir))
+	if jsonOut {
+		if err := WriteJSON(w, diags); err != nil {
+			return false, err
 		}
+		return len(diags) == 0, nil
 	}
-	return clean, nil
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s\n", d.String())
+	}
+	return len(diags) == 0, nil
 }
 
-func shortenDiag(d Diagnostic, dir string) string {
+// jsonDiagnostic is the stable serialized form of one finding.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON writes the diagnostics as one indented JSON array in their
+// given (already sorted) order. The field set is a stable interface for
+// CI tooling; extend, never rename.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func shortenPath(filename, dir string) string {
 	if dir == "" {
 		dir, _ = os.Getwd()
 	}
 	if dir != "" {
-		if rel, err := filepath.Rel(dir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+		if rel, err := filepath.Rel(dir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
 		}
 	}
-	return d.String()
+	return filename
 }

@@ -1,0 +1,89 @@
+package lint
+
+// NondetTaint is the interprocedural extension of SimDeterminism: it
+// catches nondeterminism laundered through helper calls.
+//
+// SimDeterminism bans wall-clock reads, the global math/rand source and
+// randomized map iteration at their use sites — but only inside the
+// deterministic scope (sim, cell, cellrt, mw, obs, fault). A helper in
+// any other package can wrap time.Now() and hand the value into the
+// simulator with no diagnostic, because the use site sits outside the
+// scope and the call site looks pure. NondetTaint closes the hole:
+//
+//   - on every loaded package (scoped or not, including dependency-only
+//     fact passes) it runs the taint fixed point over the package-local
+//     call graph, marking each declared function that reaches one of the
+//     banned sources — directly, through same-package helpers, or through
+//     an imported function already marked by its own package's pass — and
+//     exports the result as a cross-package "nondet" fact with the
+//     witness chain as its value;
+//   - inside the deterministic scope it reports every call whose callee
+//     is a tainted function of an out-of-scope package — the frontier
+//     where nondeterminism actually enters the simulator. Calls to
+//     in-scope callees are not reported here: their own package flags the
+//     source (simdeterminism) or its own frontier (nondettaint), so each
+//     leak surfaces exactly once, at the deepest in-scope call site.
+//
+// The analysis is conservative where resolution is dynamic: calls through
+// function values, fields and interfaces are not edges. That silence is
+// load-bearing — fault.Clock is the sanctioned wall-clock injection seam,
+// and precisely because it is an interface, taint stops at the boundary
+// while direct calls into a concrete clock (e.g. wallclock.Clock) are
+// still caught.
+var NondetTaint = &Analyzer{
+	Name:  "nondettaint",
+	Doc:   "interprocedural taint: forbid calls that launder wall-clock, global-rand or map-order nondeterminism into the simulator scope",
+	Facts: true,
+	// Match is nil on purpose: fact mining must run everywhere calls can
+	// lead. Reporting is gated on simScope inside Run.
+	Run: runNondetTaint,
+}
+
+// simScopes is the deterministic-replay jurisdiction shared by
+// SimDeterminism (use-site bans) and NondetTaint (call-site frontier).
+var simScopes = []string{
+	"internal/sim", "internal/cell", "internal/cellrt", "internal/mw",
+	"internal/fault", "internal/obs",
+}
+
+// nondetFact is the cross-package fact name carrying taint witnesses.
+const nondetFact = "nondet"
+
+var nondetTaintConfig = &TaintConfig{
+	Fact:         nondetFact,
+	DirectReason: directNondetReason,
+}
+
+func runNondetTaint(pass *Pass) {
+	taint := Propagate(pass, nondetTaintConfig)
+
+	if !pathHasAny(pass.Path, simScopes...) {
+		return // out of scope: facts only
+	}
+	for _, node := range pass.CallGraph().Order {
+		for _, site := range node.Calls {
+			callee := site.Callee
+			if callee.Pkg() == nil || callee.Pkg() == pass.Pkg {
+				continue // same package: sources are flagged at their own lines
+			}
+			if pathHasAny(callee.Pkg().Path(), simScopes...) {
+				continue // callee's package flags its own sources/frontier
+			}
+			if reason := taint.Reason(callee); reason != "" {
+				pass.Reportf(site.Call.Pos(),
+					"call to %s is nondeterministic (it %s); the %s scope must replay bit-identically — inject the value through a seeded RNG, sim time, or an interface seam instead",
+					calleeLabel(callee), reason, scopeLabel(pass.Path))
+			}
+		}
+	}
+}
+
+// scopeLabel names the matched scope segment for diagnostics.
+func scopeLabel(pkgPath string) string {
+	for _, s := range simScopes {
+		if pathHasAny(pkgPath, s) {
+			return s
+		}
+	}
+	return "simulator"
+}

@@ -6,8 +6,11 @@ package lint
 func All() []*Analyzer {
 	return []*Analyzer{
 		SimDeterminism,
+		NondetTaint,
 		InvalidatePair,
 		HotPathAlloc,
 		FloatCmp,
+		CtxOwnership,
+		BackendPurity,
 	}
 }

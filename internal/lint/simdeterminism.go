@@ -29,9 +29,7 @@ var SimDeterminism = &Analyzer{
 	Name: "simdeterminism",
 	Doc:  "forbid wall-clock, global math/rand and map-order dependence in the simulator packages",
 	Match: func(pkgPath string) bool {
-		return pathHasAny(pkgPath,
-			"internal/sim", "internal/cell", "internal/cellrt", "internal/mw",
-			"internal/fault", "internal/obs")
+		return pathHasAny(pkgPath, simScopes...)
 	},
 	Run: runSimDeterminism,
 }

@@ -1,0 +1,76 @@
+// Golden case for backendpurity, analyzed as raxmlcell/internal/likelihood:
+// a miniature of the Backend seam. Range methods run concurrently over
+// one shared Ctx (one pattern range per fan-out slot), so they may write
+// only operand-slice elements, Ctx scratch elements and slot tiles —
+// never the Engine, a Ctx field itself, or package state.
+package likelihood
+
+type Engine struct {
+	total uint64
+	tbl   []float64
+}
+
+type tile struct{ buf []float64 }
+
+type Ctx struct {
+	eng       *Engine
+	sumTab    []float64
+	tiles     []tile
+	underflow uint64
+}
+
+type combineOp struct{ dst []float64 }
+
+type patRange struct{ lo, hi int }
+
+type combineStats struct{ muls uint64 }
+
+var globalHits int
+
+type goodBackend struct{}
+
+// initCtx is not a *Range method: sizing Ctx scratch before any kernel
+// runs is exactly what it is for, so its field writes are legal.
+func (goodBackend) initCtx(c *Ctx, slots int) {
+	c.tiles = make([]tile, slots)
+	c.sumTab = make([]float64, len(c.eng.tbl))
+}
+
+func (goodBackend) combineRange(c *Ctx, op *combineOp, pr patRange, slot int) combineStats {
+	var st combineStats
+	t := &c.tiles[slot]
+	for pat := pr.lo; pat < pr.hi; pat++ {
+		t.buf[0] = c.eng.tbl[pat]          // slot tile write, engine read: legal
+		op.dst[pat] = t.buf[0] * 2         // operand element: legal
+		c.sumTab[pat] = op.dst[pat]        // Ctx scratch element: legal
+		c.tiles[slot].buf[0] = op.dst[pat] // slot tile through the Ctx path: legal
+		st.muls++                          // local part value: legal
+	}
+	return st
+}
+
+type badBackend struct{}
+
+func (badBackend) combineRange(c *Ctx, op *combineOp, pr patRange, slot int) combineStats {
+	c.eng.total++                     // want `writes Engine state through field total in combineRange`
+	c.eng.tbl[0] = 1                  // want `writes Engine state through field tbl in combineRange`
+	c.sumTab = make([]float64, pr.hi) // want `writes Ctx field sumTab directly in combineRange`
+	c.underflow++                     // want `writes Ctx field underflow directly in combineRange`
+	globalHits++                      // want `writes package-level variable globalHits in combineRange`
+	for pat := pr.lo; pat < pr.hi; pat++ {
+		op.dst[pat] = 1
+	}
+	return combineStats{}
+}
+
+// newtonRange launders its store through a helper: only the package-local
+// fixed point connects the call site to the write, which is the
+// multi-function case the analyzer exists for.
+func (badBackend) newtonRange(c *Ctx, op *combineOp, pr patRange, slot int) combineStats {
+	bumpUnderflow(c) // want `newtonRange calls likelihood\.bumpUnderflow, which writes Ctx field underflow directly`
+	return combineStats{}
+}
+
+// bumpUnderflow is fine on its own (drivers call it between fan-outs);
+// it is the call from a *Range method that is flagged.
+func bumpUnderflow(c *Ctx) { c.underflow++ }
