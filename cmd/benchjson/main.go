@@ -1,6 +1,6 @@
 // Command benchjson measures the compute-backend and task-level-parallelism
 // speedups of the SPR search on the 42_SC stand-in workload and writes them
-// as machine-readable JSON (BENCH_PR6.json in the repo root is a committed
+// as machine-readable JSON (BENCH_PR8.json in the repo root is a committed
 // snapshot).
 //
 // The workload mirrors BenchmarkSearch42SC / BenchmarkParallelSPR42SC in
@@ -14,15 +14,26 @@
 //
 // Usage:
 //
-//	benchjson -out BENCH_PR6.json            # full matrix (best of -reps)
+//	benchjson -out BENCH_PR8.json            # full matrix (best of -reps)
 //	benchjson -quick -out /tmp/smoke.json    # single repetition (CI smoke)
 //	benchjson -backend batched -workers 1    # one backend, serial only
-//	benchjson -check BENCH_PR6.json          # parse + validate an existing file
+//	benchjson -check BENCH_PR8.json          # parse + validate an existing file
+//	benchjson -check f.json -min-speedup 1.5 # also gate pool scaling (CI)
+//
+// Besides wall-time speedups the report records pooled/serial newview-call
+// ratios per backend ("<backend>-<N>w" -> Newviews(Nw)/Newviews(1w)). These
+// count redundant work, not time, so they are meaningful on any host, and
+// validation hard-fails any ratio above 1.15: with the shared epoch-tagged
+// vector store a pooled search must not redo more than 15% of the serial
+// search's newview work (in practice it does less — the store also reuses
+// vectors across prune sites that the serial per-prune tables rebuild).
 //
 // Host metadata (cpus, GOMAXPROCS, Go version) is recorded so a committed
 // snapshot from a small container is distinguishable from a multi-core CI
-// run; the worker-scaling speedups are only meaningful when cpus >= workers,
-// while the backend-vs-scalar speedups are meaningful even on one CPU.
+// run; the worker-scaling speedups are only meaningful when cpus >= workers
+// (which is why the -min-speedup gate is opt-in, applied by the CI
+// scaling-gate job on a multi-core runner), while the backend-vs-scalar
+// speedups and the newview ratios are meaningful even on one CPU.
 package main
 
 import (
@@ -62,40 +73,51 @@ type Entry struct {
 	Exps      uint64  `json:"exps"`
 }
 
-// Report is the file schema. Schema /2 extends /1 with the backend axis:
+// Report is the file schema. Schema /2 extended /1 with the backend axis:
 // entries carry a backend name and the scalar speedup field became a map
 // keyed by comparison name ("batched-vs-scalar-1w" for backend wins at
 // fixed workers, "<backend>-2w" / "<backend>-4w" for pool scaling within a
-// backend, relative to that backend's serial cell).
+// backend, relative to that backend's serial cell). Schema /3 adds the
+// newview_ratios map — pooled newview calls over the same backend's serial
+// cell, keyed "<backend>-<N>w" — the redundancy axis the shared
+// ancestral-vector store is accountable to (validation rejects any ratio
+// above newviewRatioMax).
 type Report struct {
-	Schema     string             `json:"schema"` // "raxmlcell-bench/2"
-	Generated  string             `json:"generated"`
-	GoVersion  string             `json:"go_version"`
-	GOOS       string             `json:"goos"`
-	GOARCH     string             `json:"goarch"`
-	CPUs       int                `json:"cpus"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Workload   string             `json:"workload"`
-	Backends   []string           `json:"backends"`
-	Entries    []Entry            `json:"entries"`
-	Speedups   map[string]float64 `json:"speedups"`
+	Schema        string             `json:"schema"` // "raxmlcell-bench/3"
+	Generated     string             `json:"generated"`
+	GoVersion     string             `json:"go_version"`
+	GOOS          string             `json:"goos"`
+	GOARCH        string             `json:"goarch"`
+	CPUs          int                `json:"cpus"`
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	Workload      string             `json:"workload"`
+	Backends      []string           `json:"backends"`
+	Entries       []Entry            `json:"entries"`
+	Speedups      map[string]float64 `json:"speedups"`
+	NewviewRatios map[string]float64 `json:"newview_ratios"`
 }
 
-const schemaID = "raxmlcell-bench/2"
+const schemaID = "raxmlcell-bench/3"
+
+// newviewRatioMax is the redundancy budget: a pooled cell may perform at
+// most 15% more newview calls than the serial cell of the same backend.
+// Mirrors the gate in TestParallelSPRCrossValidation42SC.
+const newviewRatioMax = 1.15
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_PR6.json", "output path")
+		out      = flag.String("out", "BENCH_PR8.json", "output path")
 		backends = flag.String("backend", "", "comma-separated compute backends to measure (default: all registered: "+strings.Join(likelihood.Backends(), ", ")+")")
 		workers  = flag.String("workers", "1,2,4", "comma-separated search-worker counts per backend")
 		reps     = flag.Int("reps", 3, "repetitions per entry; the best time is reported")
 		quick    = flag.Bool("quick", false, "single repetition (CI smoke)")
 		check    = flag.String("check", "", "validate an existing report file and exit")
+		minSpeed = flag.Float64("min-speedup", 0, "fail validation if any backend's largest in-budget pool-scaling speedup (workers <= gomaxprocs of the measuring host) is below this (0 = no gate; CI passes 1.5)")
 	)
 	flag.Parse()
 
 	if *check != "" {
-		if err := checkFile(*check); err != nil {
+		if err := checkFile(*check, *minSpeed); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
 			os.Exit(1)
 		}
@@ -131,8 +153,8 @@ func main() {
 		os.Exit(1)
 	}
 	// Self-validate what was just written: the committed snapshot must pass
-	// the same gate CI applies.
-	if err := checkFile(*out); err != nil {
+	// the same gate CI applies (including -min-speedup when the caller set it).
+	if err := checkFile(*out, *minSpeed); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote invalid report: %v\n", err)
 		os.Exit(1)
 	}
@@ -145,6 +167,14 @@ func main() {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Printf("  speedup %-24s %.2fx\n", n, rep.Speedups[n])
+	}
+	names = names[:0]
+	for n := range rep.NewviewRatios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  newview ratio %-18s %.3f (budget %.2f)\n", n, rep.NewviewRatios[n], newviewRatioMax)
 	}
 }
 
@@ -204,18 +234,39 @@ func measure(backends []string, workers []int, reps int) (*Report, error) {
 	}
 
 	return &Report{
-		Schema:     schemaID,
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		CPUs:       runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workload:   "42sc SPR search: seqsim.Params42SC seed 62, parsimony start seed 63, Radius 3, MaxRounds 2, SmoothPasses 2, Epsilon 0.05",
-		Backends:   backends,
-		Entries:    entries,
-		Speedups:   speedups(entries),
+		Schema:        schemaID,
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workload:      "42sc SPR search: seqsim.Params42SC seed 62, parsimony start seed 63, Radius 3, MaxRounds 2, SmoothPasses 2, Epsilon 0.05",
+		Backends:      backends,
+		Entries:       entries,
+		Speedups:      speedups(entries),
+		NewviewRatios: newviewRatios(entries),
 	}, nil
+}
+
+// newviewRatios derives the redundancy map: each pooled cell's newview-call
+// count over the 1-worker cell of the same backend. A work-count ratio, not
+// a time ratio — host-independent, and what the shared ancestral-vector
+// store is gated on.
+func newviewRatios(entries []Entry) map[string]float64 {
+	serial := map[string]uint64{} // backend -> 1-worker newview calls
+	for _, e := range entries {
+		if e.Workers == 1 {
+			serial[e.Backend] = e.Newviews
+		}
+	}
+	nr := map[string]float64{}
+	for _, e := range entries {
+		if s, ok := serial[e.Backend]; ok && e.Workers > 1 && s > 0 {
+			nr[e.Name] = float64(e.Newviews) / float64(s)
+		}
+	}
+	return nr
 }
 
 // speedups derives the comparison map: each backend's pool scaling against
@@ -282,8 +333,14 @@ func runEntry(pat *alignment.Patterns, backend string, workers, reps int) (*Entr
 
 // checkFile parses and validates a report: schema tag, a full matrix of
 // entries with non-zero timings and kernel counters, matching results
-// across every cell, and a non-empty speedup map with positive ratios.
-func checkFile(path string) error {
+// across every cell, a non-empty speedup map with positive ratios, and a
+// newview-ratio map that is complete (one ratio per pooled cell), consistent
+// with the entries it was derived from, and within the redundancy budget.
+// When minSpeedup > 0, each backend must additionally reach that pool-scaling
+// speedup at its largest in-budget worker count (workers <= the measuring
+// host's GOMAXPROCS — a 4-worker cell recorded on one CPU proves redundancy,
+// not scaling, and is not held to a wall-time bar).
+func checkFile(path string, minSpeedup float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -345,6 +402,52 @@ func checkFile(path string) error {
 	for name, v := range rep.Speedups {
 		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("speedup %s: %v", name, v)
+		}
+	}
+
+	// Redundancy gate: the recorded newview_ratios must cover every pooled
+	// cell, agree with the entries they summarize, and stay within budget.
+	want := newviewRatios(rep.Entries)
+	for name, w := range want {
+		got, ok := rep.NewviewRatios[name]
+		if !ok {
+			return fmt.Errorf("newview ratio for %s missing", name)
+		}
+		if math.Abs(got-w) > 1e-9 {
+			return fmt.Errorf("newview ratio %s: recorded %.6f, entries say %.6f", name, got, w)
+		}
+		if got > newviewRatioMax {
+			return fmt.Errorf("newview ratio %s: %.3f exceeds redundancy budget %.2f (pooled search redoing serial work — shared vector store not effective)",
+				name, got, newviewRatioMax)
+		}
+	}
+	for name := range rep.NewviewRatios {
+		if _, ok := want[name]; !ok {
+			return fmt.Errorf("newview ratio %s has no matching entries", name)
+		}
+	}
+
+	// Scaling gate (opt-in): each backend's pool must pay for itself in wall
+	// time at the largest worker count the measuring host could actually run
+	// in parallel.
+	if minSpeedup > 0 {
+		for _, bk := range rep.Backends {
+			best := Entry{}
+			for _, e := range rep.Entries {
+				if e.Backend == bk && e.Workers > 1 && e.Workers <= rep.GOMAXPROCS && e.Workers > best.Workers {
+					best = e
+				}
+			}
+			if best.Workers == 0 {
+				continue // host too small for any pooled cell; redundancy gate above still applied
+			}
+			sp, ok := rep.Speedups[best.Name]
+			if !ok {
+				return fmt.Errorf("no speedup recorded for %s", best.Name)
+			}
+			if sp < minSpeedup {
+				return fmt.Errorf("speedup %s: %.2fx below the %.2fx scaling gate", best.Name, sp, minSpeedup)
+			}
 		}
 	}
 	return nil

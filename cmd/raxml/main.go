@@ -72,12 +72,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *searchWk == 0 {
-		*searchWk = search.AutoWorkers()
-	}
-
 	logger := obs.NewLogger(os.Stderr, obs.Level(*verbose, *quiet))
 	metrics := obs.NewRegistry()
+	if *searchWk == 0 {
+		// Occupancy-aware auto-sizing: GOMAXPROCS for the first search,
+		// capped at the measured search.pool_busy_peak once the registry
+		// has one (bootstrap campaigns re-resolve per process, so a pool
+		// that never filled up shrinks on the next run).
+		*searchWk = search.AutoWorkersFrom(metrics)
+	}
 
 	if *debugAddr != "" {
 		srv, addr, err := obs.StartDebugServer(*debugAddr, metrics)

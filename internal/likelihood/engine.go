@@ -117,6 +117,11 @@ type Engine struct {
 	// meter/underflow sinks are the engine's own counters.
 	ctx0 *Ctx
 
+	// shared, when non-nil (UseSharedCache), is the epoch-tagged
+	// ancestral-vector store serving every worker context; Invalidate and
+	// InvalidateAll forward to it so its epoch tags track the tree.
+	shared *SharedCache
+
 	// Task-level parallelism state: pool, when non-nil (UsePool), executes
 	// NewView traversal descriptors wavefront-parallel. levelOf/levels are
 	// the wavefront scheduler's reusable scratch.
@@ -265,7 +270,7 @@ func (e *Engine) NewView(p *phylotree.Node) { e.ctx0.NewView(p) }
 // through MakeNewz, which invalidates itself) must call this; topology
 // operations on a Tree wired up with AttachTree invalidate automatically.
 func (e *Engine) Invalidate(p *phylotree.Node) {
-	if e.orient == nil {
+	if e.orient == nil && e.shared == nil {
 		return
 	}
 	q := p.Back
@@ -274,8 +279,13 @@ func (e *Engine) Invalidate(p *phylotree.Node) {
 		e.InvalidateAll()
 		return
 	}
-	e.invalidateToward(p)
-	e.invalidateToward(q)
+	if e.shared != nil {
+		e.shared.invalidate(p)
+	}
+	if e.orient != nil {
+		e.invalidateToward(p)
+		e.invalidateToward(q)
+	}
 }
 
 // invalidateToward walks the component behind record a, clearing every
@@ -299,20 +309,23 @@ func (e *Engine) invalidateToward(a *phylotree.Node) {
 // InvalidateAll drops every cached partial vector; the next evaluation
 // recomputes the full tree. Model swaps and cross-tree reuse call this.
 func (e *Engine) InvalidateAll() {
+	if e.shared != nil {
+		e.shared.InvalidateAll()
+	}
 	for i := range e.orient {
 		e.orient[i] = nil
 	}
 }
 
-// AttachTree wires the engine's incremental cache to the tree's
-// branch-change hooks, so Prune/Regraft/Undo/InsertTip/RemoveTip invalidate
-// the affected views automatically, and clears the cache (the tree may have
-// been mutated before attachment). A no-op without Config.Incremental.
+// AttachTree wires the engine's caches to the tree's branch-change hooks,
+// so Prune/Regraft/Undo/InsertTip/RemoveTip invalidate the affected views
+// automatically, and clears the caches (the tree may have been mutated
+// before attachment). The hook reads the engine's cache state at call time,
+// so it also covers a shared ancestral-vector store installed *after*
+// attachment (the search attaches first, then installs the store); without
+// Config.Incremental and without a store the hook is a cheap no-op.
 // Direct SetZ calls bypass the hooks — follow them with Invalidate.
 func (e *Engine) AttachTree(tr *phylotree.Tree) {
-	if e.orient == nil {
-		return
-	}
 	tr.OnBranchChange(e.Invalidate)
 	e.InvalidateAll()
 }

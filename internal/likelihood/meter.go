@@ -42,6 +42,14 @@ type Meter struct {
 	// (Config.Incremental): newview work avoided, not performed. All other
 	// counters always reflect only the operations actually executed.
 	CacheHits uint64
+
+	// SharedHits counts vector requests served by the epoch-tagged shared
+	// ancestral-vector store (SharedCache) — like CacheHits, work avoided.
+	// The total over all workers is deterministic for a fixed search
+	// (single-flight makes the computed set a pure function of the request
+	// set); per-worker attribution depends on which worker reached a node
+	// first and is reported by Pool.WorkerMeter, not asserted on.
+	SharedHits uint64
 }
 
 // Add accumulates other into m.
@@ -63,6 +71,7 @@ func (m *Meter) Add(other *Meter) {
 	m.TipInnerCalls += other.TipInnerCalls
 	m.InnerInnerCalls += other.InnerInnerCalls
 	m.CacheHits += other.CacheHits
+	m.SharedHits += other.SharedHits
 }
 
 // Reset zeroes all counters.
@@ -75,8 +84,8 @@ func (m *Meter) Flops() uint64 { return m.Muls + m.Adds }
 // quoted in Section 5.2 of the paper.
 func (m *Meter) String() string {
 	return fmt.Sprintf(
-		"newview=%d makenewz=%d evaluate=%d flops=%d (mul=%d add=%d) exp=%d log=%d scaleChecks=%d scaleEvents=%d bigIters=%d bytes=%d cacheHits=%d",
+		"newview=%d makenewz=%d evaluate=%d flops=%d (mul=%d add=%d) exp=%d log=%d scaleChecks=%d scaleEvents=%d bigIters=%d bytes=%d cacheHits=%d sharedHits=%d",
 		m.NewviewCalls, m.MakenewzCalls, m.EvaluateCalls,
 		m.Flops(), m.Muls, m.Adds, m.Exps, m.Logs,
-		m.ScaleChecks, m.ScaleEvents, m.BigLoopIters, m.BytesStreamed, m.CacheHits)
+		m.ScaleChecks, m.ScaleEvents, m.BigLoopIters, m.BytesStreamed, m.CacheHits, m.SharedHits)
 }

@@ -36,6 +36,18 @@ type Pool struct {
 	busy    atomic.Int64
 	running atomic.Bool
 
+	// peakBusy is the high-water busy-worker count since NewPool — the
+	// measured occupancy that AutoWorkersFrom-style fan-out sizing reads
+	// back (search.pool_busy_peak).
+	peakBusy atomic.Int64
+
+	// workerMeters[w] accumulates worker w's kernel counters across
+	// fan-outs, snapshotted in Run before the per-fan-out merge resets the
+	// context. Per-worker attribution of shared-cache work (who computed,
+	// who hit) depends on goroutine scheduling; only the sum across workers
+	// is deterministic.
+	workerMeters []Meter
+
 	// OnOccupancy, when non-nil, observes the busy-worker count at every
 	// transition — the feed behind the search.pool_busy gauge. It is
 	// called concurrently and must be safe for that.
@@ -49,7 +61,7 @@ func (e *Engine) NewPool(n int) *Pool {
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{eng: e, ctxs: make([]*Ctx, n)}
+	p := &Pool{eng: e, ctxs: make([]*Ctx, n), workerMeters: make([]Meter, n)}
 	for i := range p.ctxs {
 		p.ctxs[i] = e.NewCtx()
 	}
@@ -61,6 +73,18 @@ func (p *Pool) Workers() int { return len(p.ctxs) }
 
 // Ctx returns worker i's kernel context, e.g. to bind a per-worker Views.
 func (p *Pool) Ctx(i int) *Ctx { return p.ctxs[i] }
+
+// WorkerMeter returns worker i's accumulated kernel counters across every
+// fan-out so far: the per-worker attribution of newview/shared-cache work.
+// Which worker performed which share is scheduling-dependent under the
+// shared cache's single-flight; the sum over all workers equals the
+// pool-attributed part of Engine.Meter and is deterministic.
+func (p *Pool) WorkerMeter(i int) Meter { return p.workerMeters[i] }
+
+// PeakBusy returns the high-water concurrently-busy worker count observed
+// since the pool was created — the measured occupancy behind
+// occupancy-sized fan-out (search.AutoWorkersFrom).
+func (p *Pool) PeakBusy() int { return int(p.peakBusy.Load()) }
 
 // UsePool installs (or, with nil, removes) the pool as the engine's
 // wavefront executor: NewView on the engine groups its traversal
@@ -105,13 +129,21 @@ func (p *Pool) Run(n int, fn func(worker, task int)) {
 		}(wk, lo, hi)
 	}
 	wg.Wait()
-	for _, c := range p.ctxs {
+	for i, c := range p.ctxs {
+		// Snapshot per-worker attribution before mergeInto resets it.
+		p.workerMeters[i].Add(&c.ownMeter)
 		c.mergeInto(p.eng)
 	}
 }
 
 func (p *Pool) setBusy(d int64) {
 	b := p.busy.Add(d)
+	for {
+		peak := p.peakBusy.Load()
+		if b <= peak || p.peakBusy.CompareAndSwap(peak, b) {
+			break
+		}
+	}
 	if p.OnOccupancy != nil {
 		p.OnOccupancy(int(b), len(p.ctxs))
 	}

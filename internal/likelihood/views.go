@@ -22,6 +22,13 @@ type Views struct {
 	lv    map[*phylotree.Node][]float64
 	scale map[*phylotree.Node][]int32
 	order []*phylotree.Node // memoization order, so Release is deterministic
+
+	// shared, when non-nil, replaces the private memo tables: Vector
+	// delegates to the engine-wide epoch-tagged store, so every worker's
+	// Views of one pool reads (and fills) the same vectors instead of each
+	// recomputing them. The kernel context stays per-worker — only the
+	// result vectors are shared. Built by NewSharedViews.
+	shared *SharedCache
 }
 
 // NewViews creates an empty view table over the engine's current model,
@@ -37,6 +44,23 @@ func (c *Ctx) NewViews() *Views {
 		lv:    make(map[*phylotree.Node][]float64),
 		scale: make(map[*phylotree.Node][]int32),
 	}
+}
+
+// NewSharedViews creates a view table backed by the engine's shared
+// epoch-tagged vector store instead of private memo tables, bound to the
+// engine's primary context: vector hits and computes are attributed to
+// Engine.Meter directly. Used by the pooled search's serial fallback so
+// small candidate sets still reuse (and warm) the shared store.
+func (e *Engine) NewSharedViews(s *SharedCache) *Views { return e.ctx0.NewSharedViews(s) }
+
+// NewSharedViews creates a view table backed by the shared epoch-tagged
+// vector store, bound to this context: cached vectors are engine-wide, but
+// kernel scratch, metering and the scoring path's scratch buffers stay
+// per-worker. Unlike a private Views, a shared-backed table survives tree
+// edits (the store's epoch tags track them), needs no Release, and may be
+// used from several goroutines — one per distinct bound context.
+func (c *Ctx) NewSharedViews(s *SharedCache) *Views {
+	return &Views{ctx: c, shared: s}
 }
 
 // Release returns all cached buffers to the owning context's pool.
@@ -84,6 +108,9 @@ func (c *Ctx) getScBuf() []int32 {
 // memoizing recursively. For tip records it returns (nil, nil): callers use
 // the tip codes directly.
 func (v *Views) Vector(r *phylotree.Node) ([]float64, []int32, error) {
+	if v.shared != nil {
+		return v.shared.vector(v.ctx, r)
+	}
 	if r.IsTip() {
 		return nil, nil, nil
 	}

@@ -17,6 +17,29 @@ import (
 // never silently spawns a pool).
 func AutoWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// AutoWorkersFrom sizes the fan-out from measured occupancy instead of raw
+// CPU count: it returns AutoWorkers() capped at the search.pool_busy_peak
+// gauge recorded in reg by a previous pooled search. A pool whose peak
+// occupancy never reached the worker count was over-provisioned — candidate
+// blocks are contiguous and unstolen, so idle workers are pure fan-out
+// overhead — and the next search in the same process (bootstrap replicates,
+// repeated inferences) right-sizes to what was actually used. With no
+// registry, no recorded peak, or a peak at/above the CPU count it behaves
+// exactly like AutoWorkers.
+func AutoWorkersFrom(reg *obs.Registry) int {
+	w := AutoWorkers()
+	if reg == nil {
+		return w
+	}
+	snap := reg.Snapshot()
+	if peak, ok := snap.GaugeValue("search.pool_busy_peak"); ok {
+		if p := int(peak); p >= 1 && p < w {
+			return p
+		}
+	}
+	return w
+}
+
 // The paper layers task-level parallelism (EDTLP, and at scale MGPS) on
 // top of the loop-level parallelism inside each kernel: independent
 // likelihood tasks run concurrently on different SPEs. This file is the
@@ -48,6 +71,16 @@ type searchCtx struct {
 	pool  *likelihood.Pool
 	views []*likelihood.Views
 
+	// shared, when non-nil, is the engine-wide epoch-tagged vector store
+	// every worker's Views reads through (Options.NoSharedCache opts out):
+	// the composition of the incremental cache with the pool that removes
+	// the per-worker recomputation of shared-path vectors. serialViews is
+	// its primary-context binding, used by the below-minParallelCandidates
+	// fallback so small candidate sets still reuse (and warm) the store
+	// with their kernel counters flowing straight into Engine.Meter.
+	shared      *likelihood.SharedCache
+	serialViews *likelihood.Views
+
 	cands  []*phylotree.Node
 	scores []candScore
 
@@ -58,6 +91,9 @@ type searchCtx struct {
 
 	candidatesScored *obs.Counter
 	parallelRounds   *obs.Counter
+	sharedHits       *obs.Counter
+	epochGauge       *obs.Gauge
+	busyPeak         *obs.Gauge
 }
 
 // newSearchCtx builds the per-search state from the options: a worker pool
@@ -73,23 +109,56 @@ func newSearchCtx(eng *likelihood.Engine, opt Options) *searchCtx {
 		sc.pool = eng.NewPool(opt.Workers)
 		eng.UsePool(sc.pool)
 		sc.views = make([]*likelihood.Views, sc.pool.Workers())
+		if !opt.NoSharedCache {
+			sc.shared = eng.NewSharedCache()
+			eng.UseSharedCache(sc.shared)
+			// Shared-backed view tables are built once and survive tree
+			// edits (the store's epoch tags track them) — no per-prune
+			// rebuild, unlike the private per-worker tables they replace.
+			for w := range sc.views {
+				sc.views[w] = sc.pool.Ctx(w).NewSharedViews(sc.shared)
+			}
+			sc.serialViews = eng.NewSharedViews(sc.shared)
+		}
 		if opt.Metrics != nil {
 			opt.Metrics.Gauge("search.pool_workers").Set(float64(sc.pool.Workers()))
 			busy := opt.Metrics.Gauge("search.pool_busy")
 			sc.pool.OnOccupancy = func(b, _ int) { busy.Set(float64(b)) }
+			sc.busyPeak = opt.Metrics.Gauge("search.pool_busy_peak")
+			if sc.shared != nil {
+				sc.sharedHits = opt.Metrics.Counter("cache.shared_hits")
+				sc.epochGauge = opt.Metrics.Gauge("cache.epoch")
+			}
 		}
 	}
 	return sc
 }
 
-// close detaches the pool from the engine; the search installed it, so the
-// search removes it before handing the engine back to the caller.
+// close detaches the pool and the shared vector store from the engine; the
+// search installed them, so the search removes them before handing the
+// engine back to the caller.
 func (sc *searchCtx) close(eng *likelihood.Engine) {
+	sc.publishCacheMetrics()
+	if sc.shared != nil {
+		eng.UseSharedCache(nil)
+	}
 	if sc.pool != nil {
 		eng.UsePool(nil)
 		if sc.candidatesScored != nil {
 			sc.pool.OnOccupancy = nil
 		}
+	}
+}
+
+// publishCacheMetrics republishes the shared-store totals and the pool's
+// occupancy high-water mark; called at every round boundary and at close.
+func (sc *searchCtx) publishCacheMetrics() {
+	if sc.shared != nil && sc.sharedHits != nil {
+		sc.sharedHits.Store(sc.shared.Hits())
+		sc.epochGauge.Set(float64(sc.shared.Epoch()))
+	}
+	if sc.pool != nil && sc.busyPeak != nil {
+		sc.busyPeak.Set(float64(sc.pool.PeakBusy()))
 	}
 }
 
@@ -114,25 +183,42 @@ func (sc *searchCtx) scoreInsertions(eng *likelihood.Engine, cands []*phylotree.
 	}
 
 	if sc.pool == nil || len(cands) < minParallelCandidates {
-		views := eng.NewViews()
+		// Small candidate sets score serially: through the shared store's
+		// primary-context binding when the search has one (reusing and
+		// warming the same vectors the pooled fan-outs do), otherwise
+		// through a private one-shot Views exactly like the serial search.
+		views, oneShot := sc.serialViews, false
+		if views == nil {
+			views, oneShot = eng.NewViews(), true
+		}
 		for i, cand := range cands {
 			if cand.Back == nil {
 				continue
 			}
 			z, ll, err := views.InsertionScore(cand, sub, z0)
 			if err != nil {
-				views.Release()
+				if oneShot {
+					views.Release()
+				}
 				return nil, err
 			}
 			scores[i] = candScore{z: z, ll: ll, ok: true}
 		}
-		views.Release()
+		if oneShot {
+			views.Release()
+		}
 		return scores, nil
 	}
 
 	sc.roundParallel = true
-	for w := range sc.views {
-		sc.views[w] = sc.pool.Ctx(w).NewViews()
+	if sc.shared == nil {
+		// Private per-worker tables are rebuilt per prune: each worker
+		// recomputes its own copy of the shared-path vectors (the pre-PR-8
+		// redundancy the shared store eliminates; kept as the
+		// NoSharedCache baseline for redundancy accounting).
+		for w := range sc.views {
+			sc.views[w] = sc.pool.Ctx(w).NewViews()
+		}
 	}
 	sc.pool.Run(len(cands), func(w, i int) {
 		cand := cands[i]
@@ -142,9 +228,11 @@ func (sc *searchCtx) scoreInsertions(eng *likelihood.Engine, cands []*phylotree.
 		z, ll, err := sc.views[w].InsertionScore(cand, sub, z0)
 		scores[i] = candScore{z: z, ll: ll, ok: err == nil, err: err}
 	})
-	for w := range sc.views {
-		sc.views[w].Release()
-		sc.views[w] = nil
+	if sc.shared == nil {
+		for w := range sc.views {
+			sc.views[w].Release()
+			sc.views[w] = nil
+		}
 	}
 	for i := range scores {
 		if scores[i].err != nil {
@@ -188,6 +276,7 @@ func (sc *searchCtx) finishRound() {
 		sc.parallelRounds.Inc()
 	}
 	sc.roundParallel = false
+	sc.publishCacheMetrics()
 }
 
 // appendNNITargets collects the NNI candidate branches around v: the two

@@ -69,6 +69,13 @@ func TestBestNNICandidateChain(t *testing.T) {
 // worker count, starting from the same parsimony tree every time.
 func runSPR42SC(t *testing.T, workers int, reg *obs.Registry) (*Result, likelihood.Meter) {
 	t.Helper()
+	return runSPR42SCOpts(t, Options{Workers: workers, Metrics: reg})
+}
+
+// runSPR42SCOpts is runSPR42SC with full option control (NoSharedCache for
+// the redundancy baseline); Radius/rounds/epsilon are pinned.
+func runSPR42SCOpts(t *testing.T, opt Options) (*Result, likelihood.Meter) {
+	t.Helper()
 	pat := load42SC(t)
 	m := seqsim.DefaultModel()
 	start, err := parsimony.BuildStepwise(pat, rand.New(rand.NewSource(777)))
@@ -79,10 +86,8 @@ func runSPR42SC(t *testing.T, workers int, reg *obs.Registry) (*Result, likeliho
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(eng, start, Options{
-		Radius: 3, MaxRounds: 2, SmoothPasses: 2, Epsilon: 0.05,
-		Workers: workers, Metrics: reg,
-	})
+	opt.Radius, opt.MaxRounds, opt.SmoothPasses, opt.Epsilon = 3, 2, 2, 0.05
+	res, err := Run(eng, start, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,13 +98,15 @@ func runSPR42SC(t *testing.T, workers int, reg *obs.Registry) (*Result, likeliho
 // worker-pool SPR search on the 42_SC fixture must reach the identical
 // final topology and the same log-likelihood (1e-9 relative) as the serial
 // search, with the same move and round counts — parallelism is a pure
-// scheduling change, never a search-path change.
+// scheduling change, never a search-path change — and, with the shared
+// vector store on (the default), the pooled run must not redo shared-path
+// kernel work: its newview-call total stays within 1.15x of serial.
 func TestParallelSPRCrossValidation42SC(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full SPR search on 42 taxa, twice")
 	}
-	serial, _ := runSPR42SC(t, 1, nil)
-	pooled, _ := runSPR42SC(t, 4, nil)
+	serial, mtSerial := runSPR42SC(t, 1, nil)
+	pooled, mtPooled := runSPR42SC(t, 4, nil)
 
 	if math.Abs(serial.LogL-pooled.LogL) > 1e-9*math.Max(1, math.Abs(serial.LogL)) {
 		t.Errorf("pooled logL %.12f != serial %.12f", pooled.LogL, serial.LogL)
@@ -114,6 +121,46 @@ func TestParallelSPRCrossValidation42SC(t *testing.T) {
 	}
 	if rf != 0 {
 		t.Errorf("topologies diverged: RF=%d", rf)
+	}
+	// The redundancy gate, in-process: the ROADMAP's scaling target is
+	// meaningless if each worker redoes the serial work, so the pooled
+	// newview total is held to 1.15x serial (it is typically *below*
+	// serial: the epoch-tagged store reuses vectors across prunes that
+	// serial one-shot Views rebuild).
+	ratio := float64(mtPooled.NewviewCalls) / float64(mtSerial.NewviewCalls)
+	if ratio > 1.15 {
+		t.Errorf("pooled newview calls %d vs serial %d: ratio %.3f > 1.15",
+			mtPooled.NewviewCalls, mtSerial.NewviewCalls, ratio)
+	}
+	if mtPooled.SharedHits == 0 {
+		t.Error("pooled run recorded no shared-store hits")
+	}
+}
+
+// TestParallelSharedCacheRedundancy42SC quantifies what the shared store
+// removes: the same pooled search with NoSharedCache (private per-worker
+// view tables, the pre-shared-store behaviour) must do strictly more
+// newview work, and the opt-out must still reach the identical result.
+func TestParallelSharedCacheRedundancy42SC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SPR search on 42 taxa, twice")
+	}
+	withShared, mtShared := runSPR42SCOpts(t, Options{Workers: 4})
+	without, mtPrivate := runSPR42SCOpts(t, Options{Workers: 4, NoSharedCache: true})
+
+	if math.Abs(withShared.LogL-without.LogL) > 1e-9*math.Max(1, math.Abs(without.LogL)) {
+		t.Errorf("shared-store logL %.12f != private-views logL %.12f", withShared.LogL, without.LogL)
+	}
+	if withShared.Moves != without.Moves || withShared.Rounds != without.Rounds {
+		t.Errorf("search path diverged: shared %d moves/%d rounds, private %d moves/%d rounds",
+			withShared.Moves, withShared.Rounds, without.Moves, without.Rounds)
+	}
+	if mtShared.NewviewCalls >= mtPrivate.NewviewCalls {
+		t.Errorf("shared store did not reduce newview work: %d with vs %d without",
+			mtShared.NewviewCalls, mtPrivate.NewviewCalls)
+	}
+	if mtPrivate.SharedHits != 0 {
+		t.Errorf("NoSharedCache run metered %d shared hits", mtPrivate.SharedHits)
 	}
 }
 
@@ -172,6 +219,124 @@ func TestParallelNNICrossValidation(t *testing.T) {
 	}
 }
 
+// TestParallelSharedCacheStressSPRCycles hammers the shared epoch store
+// with the search's real access pattern — repeated Prune / concurrent
+// pooled scoring / Regraft-or-Undo cycles on 4 workers — and checks every
+// pooled score against a private-Views serial recompute, bitwise. Runs
+// under -race in CI, where it doubles as the reader/single-flight race
+// probe.
+func TestParallelSharedCacheStressSPRCycles(t *testing.T) {
+	pat, _, m := simulated(t, 97, 16, 300)
+	tr, err := parsimony.BuildStepwise(pat, rand.New(rand.NewSource(98)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := likelihood.NewEngine(pat, m, likelihood.Config{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AttachTree(tr)
+	sc := newSearchCtx(eng, Options{Workers: 4})
+	defer sc.close(eng)
+	if sc.shared == nil {
+		t.Fatal("pooled searchCtx did not install the shared store")
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	cycles, compared := 0, 0
+	for cycle := 0; cycle < 30; cycle++ {
+		cands := pruneCandidates(tr)
+		p := cands[rng.Intn(len(cands))]
+		if p.Back == nil || p.Next == nil {
+			continue
+		}
+		ps, err := tr.Prune(p)
+		if err != nil {
+			continue
+		}
+		zSub := ps.P.Z
+		sc.cands = phylotree.RadiusEdgesInto(sc.cands[:0], ps.Q, 3)
+		sc.cands = phylotree.RadiusEdgesInto(sc.cands, ps.R, 3)
+
+		scores, err := sc.scoreInsertions(eng, sc.cands, ps.P, zSub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Serial reference through one-shot private Views: the pooled,
+		// shared-store-served scores must match it bit for bit.
+		ref := eng.NewViews()
+		for i, cand := range sc.cands {
+			if cand.Back == nil {
+				continue
+			}
+			z, ll, err := ref.InsertionScore(cand, ps.P, zSub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !scores[i].ok || scores[i].z != z || scores[i].ll != ll {
+				t.Fatalf("cycle %d cand %d: pooled (ok=%v z=%.17g ll=%.17g) != serial (%.17g, %.17g)",
+					cycle, i, scores[i].ok, scores[i].z, scores[i].ll, z, ll)
+			}
+			compared++
+		}
+		ref.Release()
+
+		if len(sc.cands) > 0 && rng.Intn(2) == 0 {
+			bestIdx, bestZ, _ := bestCandidate(scores, zSub)
+			if bestIdx >= 0 {
+				if err := tr.Regraft(ps, sc.cands[bestIdx]); err != nil {
+					t.Fatal(err)
+				}
+				ps.P.SetZ(bestZ)
+				eng.Invalidate(ps.P)
+				for _, b := range [...]*phylotree.Node{ps.P, ps.P.Next, ps.P.Next.Next} {
+					if _, _, err := eng.MakeNewz(b); err != nil {
+						t.Fatal(err)
+					}
+				}
+				cycles++
+				continue
+			}
+		}
+		if err := tr.Undo(ps); err != nil {
+			t.Fatal(err)
+		}
+		cycles++
+	}
+	if cycles < 10 || compared == 0 {
+		t.Fatalf("stress exercised only %d cycles / %d comparisons", cycles, compared)
+	}
+	if sc.shared.Hits() == 0 {
+		t.Error("stress produced no shared-store hits")
+	}
+}
+
+// TestAutoWorkersFromHonorsMeasuredOccupancy pins the occupancy-sizing
+// contract: no registry or no recorded peak falls back to AutoWorkers, a
+// positive peak below the CPU count caps the fan-out, and a peak at or
+// above it (or a nonsensical zero) changes nothing.
+func TestAutoWorkersFromHonorsMeasuredOccupancy(t *testing.T) {
+	if got := AutoWorkersFrom(nil); got != AutoWorkers() {
+		t.Errorf("nil registry: got %d, want AutoWorkers()=%d", got, AutoWorkers())
+	}
+	reg := obs.NewRegistry()
+	if got := AutoWorkersFrom(reg); got != AutoWorkers() {
+		t.Errorf("no recorded peak: got %d, want %d", got, AutoWorkers())
+	}
+	reg.Gauge("search.pool_busy_peak").Set(0)
+	if got := AutoWorkersFrom(reg); got != AutoWorkers() {
+		t.Errorf("zero peak: got %d, want %d", got, AutoWorkers())
+	}
+	reg.Gauge("search.pool_busy_peak").Set(1)
+	if got := AutoWorkersFrom(reg); got != 1 {
+		t.Errorf("peak 1: got %d, want 1", got)
+	}
+	reg.Gauge("search.pool_busy_peak").Set(float64(AutoWorkers() + 5))
+	if got := AutoWorkersFrom(reg); got != AutoWorkers() {
+		t.Errorf("peak above CPU count: got %d, want %d", got, AutoWorkers())
+	}
+}
+
 // TestSearchMetricsPublished verifies the observability wiring: a pooled
 // search publishes scored-candidate and parallel-round counters plus the
 // pool-occupancy gauges into the registry that -debug-addr serves.
@@ -205,6 +370,19 @@ func TestSearchMetricsPublished(t *testing.T) {
 	if _, ok := snap.GaugeValue("search.pool_busy"); !ok {
 		t.Error("search.pool_busy gauge not published")
 	}
+	if v, ok := snap.GaugeValue("search.pool_busy_peak"); !ok || v < 1 || v > 2 {
+		t.Errorf("search.pool_busy_peak = %g (present %v), want in [1, 2]", v, ok)
+	}
+	if n, ok := snap.CounterValue("cache.shared_hits"); !ok || n == 0 {
+		t.Errorf("cache.shared_hits = %d (present %v), want > 0", n, ok)
+	}
+	if v, ok := snap.GaugeValue("cache.epoch"); !ok || v < 1 {
+		t.Errorf("cache.epoch = %g (present %v), want >= 1", v, ok)
+	}
+	// The measured peak must round-trip into the next fan-out sizing.
+	if got := AutoWorkersFrom(reg); got < 1 || got > AutoWorkers() {
+		t.Errorf("AutoWorkersFrom after pooled run = %d, want in [1, %d]", got, AutoWorkers())
+	}
 }
 
 // TestSerialSearchCountsCandidates checks the candidate counter also works
@@ -234,5 +412,16 @@ func TestSerialSearchCountsCandidates(t *testing.T) {
 	}
 	if _, ok := snap.GaugeValue("search.pool_workers"); ok {
 		t.Error("serial run published search.pool_workers")
+	}
+	// Workers <= 1 must carry zero shared-cache machinery: no store is
+	// installed, so no cache series appear and no shared hits are metered.
+	if _, ok := snap.CounterValue("cache.shared_hits"); ok {
+		t.Error("serial run published cache.shared_hits")
+	}
+	if _, ok := snap.GaugeValue("cache.epoch"); ok {
+		t.Error("serial run published cache.epoch")
+	}
+	if eng.Meter.SharedHits != 0 {
+		t.Errorf("serial run metered %d shared hits", eng.Meter.SharedHits)
 	}
 }

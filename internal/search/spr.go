@@ -45,9 +45,19 @@ type Options struct {
 	// *inside* one kernel call — total concurrency ≈ Workers × Threads.
 	Workers int
 
+	// NoSharedCache disables the epoch-tagged shared ancestral-vector
+	// store a pooled search (Workers > 1) installs by default, reverting
+	// to private per-worker view tables rebuilt per prune. Results are
+	// identical either way; the private tables redo the shared-path
+	// newview work once per worker, so this knob exists for redundancy
+	// accounting (benchmarks and the scaling-gate tests), not for users.
+	NoSharedCache bool
+
 	// Metrics, when non-nil, receives the live search series: the
-	// search.candidates_scored / search.parallel_rounds counters and the
-	// search.pool_workers / search.pool_busy occupancy gauges.
+	// search.candidates_scored / search.parallel_rounds counters, the
+	// search.pool_workers / search.pool_busy / search.pool_busy_peak
+	// occupancy gauges, and — with the shared vector store on — the
+	// cache.shared_hits counter and cache.epoch gauge.
 	Metrics *obs.Registry
 }
 
