@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race bench bench-json scaling-gate backend-gate chaos fuzz lint raxmlvet trace fmt clean
+.PHONY: build test race bench bench-json scaling-gate backend-gate obs-gate chaos fuzz lint raxmlvet trace fmt clean
 
 build:
 	$(GO) build ./...
@@ -17,14 +17,14 @@ bench:
 
 # bench-json measures the compute-backend x search-worker matrix of the
 # SPR search on the 42_SC stand-in workload and writes the result (timings,
-# kernel counters, host metadata, speedup and newview-ratio maps) as
-# schema-validated JSON. The committed snapshot is BENCH_PR8.json
-# (BENCH_PR5.json / BENCH_PR6.json are the retained schema/1 and /2
-# snapshots — PR6 documents the 1.7x pooled newview redundancy the shared
-# vector store eliminated); CI regenerates a quick variant and validates
-# both. Extra flags:
+# kernel counters, host metadata, speedup, newview-ratio and
+# instrumentation-overhead cells) as schema-validated JSON. The committed
+# snapshot is BENCH_PR9.json (BENCH_PR5/6/8.json are the retained
+# schema/1, /2 and /3 snapshots — PR6 documents the 1.7x pooled newview
+# redundancy the shared vector store eliminated); CI regenerates a quick
+# variant and validates both. Extra flags:
 # make bench-json BENCHJSON_FLAGS="-quick -out /tmp/smoke.json"
-BENCHJSON_FLAGS ?= -out BENCH_PR8.json
+BENCHJSON_FLAGS ?= -out BENCH_PR9.json
 bench-json:
 	$(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS)
 
@@ -57,6 +57,26 @@ backend-gate:
 	$(GO) test -count=1 -run 'TestBackendCrossValidation42SC' ./internal/search
 	$(GO) test -race -count=1 -run 'TestBackend|FuzzBackendEquivalence' ./internal/likelihood
 	$(GO) test -run=NONE -fuzz=FuzzBackendEquivalence -fuzztime=$(FUZZTIME) ./internal/likelihood
+
+# obs-gate is the local mirror of the CI observability gate: the span
+# tracer / flight recorder / Prometheus exposition / histogram suite under
+# the race detector, the pinned-seed chaos flight post-mortem scenario, a
+# real CLI run whose wall-trace and flight artifacts are re-validated on
+# write, and the committed bench snapshot's instrumentation-overhead
+# budget (wall-time ratio instrumented/baseline <= MAX_OBS_OVERHEAD; only
+# trustworthy on a quiet host, hence a separate knob).
+MAX_OBS_OVERHEAD ?= 1.02
+obs-gate:
+	@mkdir -p $(BIN)
+	$(GO) test -race -count=1 \
+		-run 'Span|Flight|Prom|Histogram|DebugServer|WallTrace|Instrumentation|KernelHists|MetricsContent' \
+		./internal/obs/... ./internal/mw/... ./internal/search/... ./internal/core/...
+	RAXML_CHAOS_SEED=$${RAXML_CHAOS_SEED:-42} $(GO) test -race -count=1 \
+		-run 'TestFlightChaosDumpQuarantine|TestSupervisePanicRecovery' ./internal/mw
+	$(GO) run ./cmd/seqgen -seed 4251 -taxa 12 -sites 400 -out $(BIN)/obs.phy
+	$(GO) run ./cmd/raxml -in $(BIN)/obs.phy -inferences 1 -bootstraps 3 -workers 2 \
+		-rounds 2 -radius 3 -trace-out $(BIN)/wall-trace.json -flight-out $(BIN)/flight.json
+	$(GO) run ./cmd/benchjson -check BENCH_PR9.json -max-obs-overhead $(MAX_OBS_OVERHEAD)
 
 # chaos replays the fault-injection campaigns under the race detector with a
 # pinned seed, so a failure here is reproducible bit for bit. Override

@@ -1,6 +1,6 @@
 // Command benchjson measures the compute-backend and task-level-parallelism
 // speedups of the SPR search on the 42_SC stand-in workload and writes them
-// as machine-readable JSON (BENCH_PR8.json in the repo root is a committed
+// as machine-readable JSON (BENCH_PR9.json in the repo root is a committed
 // snapshot).
 //
 // The workload mirrors BenchmarkSearch42SC / BenchmarkParallelSPR42SC in
@@ -14,11 +14,12 @@
 //
 // Usage:
 //
-//	benchjson -out BENCH_PR8.json            # full matrix (best of -reps)
+//	benchjson -out BENCH_PR9.json            # full matrix (best of -reps)
 //	benchjson -quick -out /tmp/smoke.json    # single repetition (CI smoke)
 //	benchjson -backend batched -workers 1    # one backend, serial only
-//	benchjson -check BENCH_PR8.json          # parse + validate an existing file
+//	benchjson -check BENCH_PR9.json          # parse + validate an existing file
 //	benchjson -check f.json -min-speedup 1.5 # also gate pool scaling (CI)
+//	benchjson -check f.json -max-obs-overhead 1.02 # gate instrumentation cost
 //
 // Besides wall-time speedups the report records pooled/serial newview-call
 // ratios per backend ("<backend>-<N>w" -> Newviews(Nw)/Newviews(1w)). These
@@ -51,9 +52,11 @@ import (
 
 	"raxmlcell/internal/alignment"
 	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/obs"
 	"raxmlcell/internal/parsimony"
 	"raxmlcell/internal/search"
 	"raxmlcell/internal/seqsim"
+	"raxmlcell/internal/wallclock"
 )
 
 // Entry is one measured (backend, workers) cell of the matrix.
@@ -73,6 +76,23 @@ type Entry struct {
 	Exps      uint64  `json:"exps"`
 }
 
+// ObsOverhead is the cost-of-instrumentation cell: the same serial 42sc
+// search timed bare and then with the full observability stack engaged — a
+// live metrics registry, a recording wall-clock span tracer, a flight
+// recorder, and the per-kernel latency histograms — interleaved rep by rep
+// so host drift hits both sides equally. Ratio is instrumented over
+// baseline best times; the hot paths are designed allocation-free, so the
+// ratio is accountable to a low single-digit-percent budget (the CI
+// obs-gate passes -max-obs-overhead).
+type ObsOverhead struct {
+	Backend        string  `json:"backend"`
+	Workers        int     `json:"workers"`
+	Reps           int     `json:"reps"`
+	BaselineNs     int64   `json:"baseline_ns"`
+	InstrumentedNs int64   `json:"instrumented_ns"`
+	Ratio          float64 `json:"ratio"`
+}
+
 // Report is the file schema. Schema /2 extended /1 with the backend axis:
 // entries carry a backend name and the scalar speedup field became a map
 // keyed by comparison name ("batched-vs-scalar-1w" for backend wins at
@@ -81,9 +101,11 @@ type Entry struct {
 // newview_ratios map — pooled newview calls over the same backend's serial
 // cell, keyed "<backend>-<N>w" — the redundancy axis the shared
 // ancestral-vector store is accountable to (validation rejects any ratio
-// above newviewRatioMax).
+// above newviewRatioMax). Schema /4 adds the obs_overhead cell measuring
+// what the wall-clock tracing / flight / histogram instrumentation costs on
+// the same workload.
 type Report struct {
-	Schema        string             `json:"schema"` // "raxmlcell-bench/3"
+	Schema        string             `json:"schema"` // "raxmlcell-bench/4"
 	Generated     string             `json:"generated"`
 	GoVersion     string             `json:"go_version"`
 	GOOS          string             `json:"goos"`
@@ -95,9 +117,10 @@ type Report struct {
 	Entries       []Entry            `json:"entries"`
 	Speedups      map[string]float64 `json:"speedups"`
 	NewviewRatios map[string]float64 `json:"newview_ratios"`
+	ObsOverhead   *ObsOverhead       `json:"obs_overhead"`
 }
 
-const schemaID = "raxmlcell-bench/3"
+const schemaID = "raxmlcell-bench/4"
 
 // newviewRatioMax is the redundancy budget: a pooled cell may perform at
 // most 15% more newview calls than the serial cell of the same backend.
@@ -106,18 +129,19 @@ const newviewRatioMax = 1.15
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_PR8.json", "output path")
+		out      = flag.String("out", "BENCH_PR9.json", "output path")
 		backends = flag.String("backend", "", "comma-separated compute backends to measure (default: all registered: "+strings.Join(likelihood.Backends(), ", ")+")")
 		workers  = flag.String("workers", "1,2,4", "comma-separated search-worker counts per backend")
 		reps     = flag.Int("reps", 3, "repetitions per entry; the best time is reported")
 		quick    = flag.Bool("quick", false, "single repetition (CI smoke)")
 		check    = flag.String("check", "", "validate an existing report file and exit")
 		minSpeed = flag.Float64("min-speedup", 0, "fail validation if any backend's largest in-budget pool-scaling speedup (workers <= gomaxprocs of the measuring host) is below this (0 = no gate; CI passes 1.5)")
+		maxObs   = flag.Float64("max-obs-overhead", 0, "fail validation if the obs_overhead ratio (instrumented/baseline wall time) exceeds this (0 = no gate; CI passes 1.02)")
 	)
 	flag.Parse()
 
 	if *check != "" {
-		if err := checkFile(*check, *minSpeed); err != nil {
+		if err := checkFile(*check, *minSpeed, *maxObs); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
 			os.Exit(1)
 		}
@@ -153,8 +177,9 @@ func main() {
 		os.Exit(1)
 	}
 	// Self-validate what was just written: the committed snapshot must pass
-	// the same gate CI applies (including -min-speedup when the caller set it).
-	if err := checkFile(*out, *minSpeed); err != nil {
+	// the same gate CI applies (including -min-speedup / -max-obs-overhead
+	// when the caller set them).
+	if err := checkFile(*out, *minSpeed, *maxObs); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote invalid report: %v\n", err)
 		os.Exit(1)
 	}
@@ -175,6 +200,11 @@ func main() {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Printf("  newview ratio %-18s %.3f (budget %.2f)\n", n, rep.NewviewRatios[n], newviewRatioMax)
+	}
+	if o := rep.ObsOverhead; o != nil {
+		fmt.Printf("  obs overhead %s-%dw: %.3fx (instrumented %.1fms vs baseline %.1fms)\n",
+			o.Backend, o.Workers, o.Ratio,
+			float64(o.InstrumentedNs)/1e6, float64(o.BaselineNs)/1e6)
 	}
 }
 
@@ -233,6 +263,11 @@ func measure(backends []string, workers []int, reps int) (*Report, error) {
 		}
 	}
 
+	overhead, err := measureObsOverhead(pat, backends[0], reps)
+	if err != nil {
+		return nil, err
+	}
+
 	return &Report{
 		Schema:        schemaID,
 		Generated:     time.Now().UTC().Format(time.RFC3339),
@@ -246,7 +281,101 @@ func measure(backends []string, workers []int, reps int) (*Report, error) {
 		Entries:       entries,
 		Speedups:      speedups(entries),
 		NewviewRatios: newviewRatios(entries),
+		ObsOverhead:   overhead,
 	}, nil
+}
+
+// obsStack is one fully-engaged observability configuration for the
+// overhead cell: every sink the production pipeline can attach is live.
+type obsStack struct {
+	reg    *obs.Registry
+	tracer *obs.SpanTracer
+	flight *obs.FlightRecorder
+}
+
+// newObsStack builds a recording stack on the real wall clock.
+func newObsStack() *obsStack {
+	now := wallclock.Monotonic()
+	tr := obs.NewSpanTracer(now)
+	tr.SetRecording(true)
+	return &obsStack{reg: obs.NewRegistry(), tracer: tr, flight: obs.NewFlightRecorder(0, now)}
+}
+
+// timedSearch runs one 42sc search cell (serial, given backend), optionally
+// under a full observability stack, and returns its wall time.
+func timedSearch(pat *alignment.Patterns, backend string, st *obsStack) (int64, error) {
+	m := seqsim.DefaultModel()
+	start, err := parsimony.BuildStepwise(pat, rand.New(rand.NewSource(63)))
+	if err != nil {
+		return 0, err
+	}
+	kcfg := likelihood.Config{Backend: backend}
+	opt := search.Options{Radius: 3, MaxRounds: 2, SmoothPasses: 2, Epsilon: 0.05, Workers: 1}
+	if st != nil {
+		kcfg.Observer = obs.NewKernelHists(st.reg, backend)
+		kcfg.Now = st.tracer.Now
+		opt.Metrics = st.reg
+		opt.Trace = st.tracer.Root("bench").WithJob(backend + "#0")
+	}
+	eng, err := likelihood.NewEngine(pat, m, kcfg)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	if st != nil {
+		st.flight.Record("attempt", backend+"#0", 1, 0, "")
+	}
+	_, err = search.Run(eng, start, opt)
+	if st != nil {
+		st.flight.Record("attempt.ok", backend+"#0", 1, 0, "")
+	}
+	if err != nil {
+		return 0, err
+	}
+	return time.Since(t0).Nanoseconds(), nil
+}
+
+// measureObsOverhead times the serial search bare and instrumented and
+// reports best-of for each side. The two variants are interleaved pair by
+// pair with the order alternating between pairs, so both slow drift and
+// systematic warm-up effects of the host land on both sides equally; the
+// minimum is the standard noise-rejecting estimator for a fixed workload
+// (anything above the floor is scheduler interference, not the code).
+// A ratio from fewer than a handful of pairs is meaningless on a busy
+// host, so the cell measures at least minObsPairs pairs even under -quick.
+func measureObsOverhead(pat *alignment.Patterns, backend string, reps int) (*ObsOverhead, error) {
+	const minObsPairs = 5
+	pairs := reps
+	if pairs < minObsPairs {
+		pairs = minObsPairs
+	}
+	o := &ObsOverhead{
+		Backend: backend, Workers: 1, Reps: pairs,
+		BaselineNs: math.MaxInt64, InstrumentedNs: math.MaxInt64,
+	}
+	for r := 0; r < pairs; r++ {
+		// A fresh stack per rep keeps the tracer's event buffer from growing
+		// across reps (amortized append cost would flatter later reps).
+		stacks := [2]*obsStack{nil, newObsStack()}
+		order := [2]int{0, 1}
+		if r%2 == 1 {
+			order = [2]int{1, 0}
+		}
+		for _, side := range order {
+			ns, err := timedSearch(pat, backend, stacks[side])
+			if err != nil {
+				return nil, err
+			}
+			if side == 0 && ns < o.BaselineNs {
+				o.BaselineNs = ns
+			}
+			if side == 1 && ns < o.InstrumentedNs {
+				o.InstrumentedNs = ns
+			}
+		}
+	}
+	o.Ratio = float64(o.InstrumentedNs) / float64(o.BaselineNs)
+	return o, nil
 }
 
 // newviewRatios derives the redundancy map: each pooled cell's newview-call
@@ -339,8 +468,10 @@ func runEntry(pat *alignment.Patterns, backend string, workers, reps int) (*Entr
 // When minSpeedup > 0, each backend must additionally reach that pool-scaling
 // speedup at its largest in-budget worker count (workers <= the measuring
 // host's GOMAXPROCS — a 4-worker cell recorded on one CPU proves redundancy,
-// not scaling, and is not held to a wall-time bar).
-func checkFile(path string, minSpeedup float64) error {
+// not scaling, and is not held to a wall-time bar). When maxObsOverhead > 0,
+// the obs_overhead ratio must not exceed it (opt-in for the same reason as
+// the scaling gate: wall-time ratios are only trustworthy on a quiet host).
+func checkFile(path string, minSpeedup, maxObsOverhead float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -425,6 +556,23 @@ func checkFile(path string, minSpeedup float64) error {
 		if _, ok := want[name]; !ok {
 			return fmt.Errorf("newview ratio %s has no matching entries", name)
 		}
+	}
+
+	// The obs_overhead cell is mandatory in schema /4 and must be internally
+	// consistent; the wall-time budget itself is opt-in.
+	o := rep.ObsOverhead
+	if o == nil {
+		return fmt.Errorf("missing obs_overhead cell")
+	}
+	if o.Backend == "" || o.Workers < 1 || o.BaselineNs <= 0 || o.InstrumentedNs <= 0 {
+		return fmt.Errorf("obs_overhead: incomplete cell %+v", *o)
+	}
+	if want := float64(o.InstrumentedNs) / float64(o.BaselineNs); math.Abs(o.Ratio-want) > 1e-9 {
+		return fmt.Errorf("obs_overhead: ratio %.6f inconsistent with timings (want %.6f)", o.Ratio, want)
+	}
+	if maxObsOverhead > 0 && o.Ratio > maxObsOverhead {
+		return fmt.Errorf("obs_overhead: %.3fx exceeds the %.2fx budget (instrumentation no longer free on the hot path)",
+			o.Ratio, maxObsOverhead)
 	}
 
 	// Scaling gate (opt-in): each backend's pool must pay for itself in wall

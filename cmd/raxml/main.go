@@ -10,8 +10,11 @@
 //
 // Observability: -v raises logging to Debug (per-job lifecycle and search
 // trajectories), -quiet lowers it to warnings only, and -debug-addr starts
-// an HTTP server exposing net/http/pprof under /debug/pprof/ plus a
-// /metrics JSON snapshot of the live supervision counters and kernel meter.
+// an HTTP server exposing net/http/pprof under /debug/pprof/, a /metrics
+// snapshot of the live supervision counters and kernel meter (JSON, or
+// Prometheus text with ?format=prom), and /debug/flight. -trace-out records
+// a wall-clock Chrome trace of the campaign (open in Perfetto); -flight-out
+// dumps the flight recorder's final window for post-mortems.
 package main
 
 import (
@@ -28,12 +31,64 @@ import (
 	"raxmlcell/internal/obs"
 	"raxmlcell/internal/phylotree"
 	"raxmlcell/internal/search"
+	"raxmlcell/internal/wallclock"
 )
 
 // fatal logs the error through the structured logger and exits non-zero.
 func fatal(log *slog.Logger, err error) {
 	log.Error("fatal", "error", err)
 	os.Exit(1)
+}
+
+// writeAndValidate writes an observability artifact to path and re-reads it
+// through its validator, returning the validated record count.
+func writeAndValidate(path string, write func(*os.File) error, validate func(*os.File) (int, error)) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, err
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer rf.Close()
+	return validate(rf)
+}
+
+// dumpObs writes the wall-clock Chrome trace and the flight recorder's
+// final event window to the requested files, self-validating each artifact
+// on the way out. It runs after the campaign whether or not it succeeded —
+// a failed run is when the post-mortems matter most.
+func dumpObs(tracer *obs.SpanTracer, flight *obs.FlightRecorder, tracePath, flightPath string) error {
+	if tracePath != "" && tracer != nil {
+		n, err := writeAndValidate(tracePath,
+			func(f *os.File) error { return tracer.WriteJSON(f) },
+			func(f *os.File) (int, error) { return obs.ValidateTrace(f) })
+		if err != nil {
+			return fmt.Errorf("trace %s: %w", tracePath, err)
+		}
+		fmt.Printf("trace: %d events written to %s\n", n, tracePath)
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Printf("trace: %d events dropped at the event cap (raise with SetMaxEvents)\n", d)
+		}
+	}
+	if flightPath != "" && flight != nil {
+		n, err := writeAndValidate(flightPath,
+			func(f *os.File) error { return flight.WriteJSON(f) },
+			func(f *os.File) (int, error) { return obs.ValidateFlight(f) })
+		if err != nil {
+			return fmt.Errorf("flight %s: %w", flightPath, err)
+		}
+		fmt.Printf("flight: %d events written to %s\n", n, flightPath)
+	}
+	return nil
 }
 
 func main() {
@@ -65,7 +120,9 @@ func main() {
 		out        = flag.String("out", "", "write the best tree (Newick) to this file")
 		verbose    = flag.Bool("v", false, "debug logging: per-job lifecycle, retries, search trajectories")
 		quiet      = flag.Bool("quiet", false, "log warnings and errors only")
-		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof/ and /metrics on this address (e.g. localhost:6060) for the duration of the run")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof/, /metrics and /debug/flight on this address (e.g. localhost:6060) for the duration of the run")
+		traceOut   = flag.String("trace-out", "", "record a wall-clock Chrome trace of the campaign (spans for jobs, attempts, search rounds) and write it to this file")
+		flightOut  = flag.String("flight-out", "", "write the flight recorder's final event window (JSON) to this file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -74,6 +131,19 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, obs.Level(*verbose, *quiet))
 	metrics := obs.NewRegistry()
+
+	// One monotonic clock feeds every wall-clock observer so span starts,
+	// flight timestamps and histogram samples share an epoch. The tracer is
+	// always constructed (it is the campaign's time source for the latency
+	// histograms) but only retains events when a trace was asked for.
+	now := wallclock.Monotonic()
+	tracer := obs.NewSpanTracer(now)
+	tracer.SetRecording(*traceOut != "")
+	var flight *obs.FlightRecorder
+	if *flightOut != "" || *debugAddr != "" {
+		flight = obs.NewFlightRecorder(0, now)
+	}
+
 	if *searchWk == 0 {
 		// Occupancy-aware auto-sizing: GOMAXPROCS for the first search,
 		// capped at the measured search.pool_busy_peak once the registry
@@ -83,14 +153,15 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		srv, addr, err := obs.StartDebugServer(*debugAddr, metrics)
+		srv, addr, err := obs.StartDebugServer(*debugAddr, metrics, obs.WithFlight(flight))
 		if err != nil {
 			fatal(logger, err)
 		}
 		defer srv.Close()
 		logger.Info("debug server listening",
 			"pprof", fmt.Sprintf("http://%s/debug/pprof/", addr),
-			"metrics", fmt.Sprintf("http://%s/metrics", addr))
+			"metrics", fmt.Sprintf("http://%s/metrics", addr),
+			"flight", fmt.Sprintf("http://%s/debug/flight", addr))
 	}
 
 	f, err := os.Open(*in)
@@ -130,12 +201,26 @@ func main() {
 			Radius: *radius, MaxRounds: *rounds,
 			SmoothPasses: 4, Epsilon: 0.01, AlphaOpt: true, ModelOpt: *optModel,
 			Workers: *searchWk,
+			// Per-round logL trajectory at -v: runs on the searching
+			// goroutine, so it only formats when Debug is enabled.
+			OnProgress: func(pr search.Progress) {
+				logger.Debug("search round",
+					"phase", pr.Phase, "round", pr.Round, "moves", pr.Moves,
+					"logl", pr.LogL, "alpha", pr.Alpha)
+			},
 		},
 		Kernel:  likelihood.Config{SDKExp: *sdkExp, IntCond: *intCond, Incremental: *incr, Threads: *threads, Backend: *backend},
 		Log:     logger,
 		Metrics: metrics,
+		Trace:   tracer.Root("campaign"),
+		Flight:  flight,
 	}
 	analysis, err := core.Analyze(pat, cfg)
+	// Dump the trace and flight window before acting on the campaign error:
+	// a failed run is exactly when the post-mortem artifacts matter.
+	if derr := dumpObs(tracer, flight, *traceOut, *flightOut); derr != nil {
+		logger.Error("observability dump failed", "error", derr)
+	}
 	if err != nil {
 		fatal(logger, err)
 	}

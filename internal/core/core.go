@@ -87,9 +87,22 @@ type Config struct {
 	Log *slog.Logger
 
 	// Metrics, when non-nil, is fed live during the analysis — the mw.*
-	// supervision counters, kernel.* meter totals and search.* trajectory
-	// series the -debug-addr /metrics endpoint serves.
+	// supervision counters, kernel.* meter totals, search.* trajectory
+	// series and the latency histograms (mw.attempt_ms, search.round_ms,
+	// checkpoint.save_ms, kernel.<backend>.<op>_ms) the -debug-addr
+	// /metrics endpoint serves.
 	Metrics *obs.Registry
+
+	// Trace is the wall-clock span context the whole analysis records into
+	// (campaign, per-worker job attempts, search rounds; see obs.SpanTracer).
+	// The zero Ctx disables timeline capture — but when Metrics is set,
+	// Analyze still mints a non-recording tracer over wallclock.Monotonic
+	// internally so the latency histograms have a time source.
+	Trace obs.Ctx
+
+	// Flight, when non-nil, receives the supervision event stream for
+	// post-mortems (see obs.FlightRecorder and mw.Config.Flight).
+	Flight *obs.FlightRecorder
 }
 
 // DefaultConfig is a publishable-analysis shape at laptop scale.
@@ -154,6 +167,14 @@ func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
 		return nil, err
 	}
 	jobs := mw.Plan(cfg.Inferences, cfg.Bootstraps, cfg.Seed)
+	// Timeline capture is the caller's choice (cfg.Trace), but the latency
+	// histograms need a monotonic time source regardless; a metrics-only run
+	// gets a non-recording tracer, which times spans without retaining them.
+	if !cfg.Trace.Enabled() && cfg.Metrics != nil {
+		tr := obs.NewSpanTracer(wallclock.Monotonic())
+		tr.SetRecording(false)
+		cfg.Trace = tr.Root("campaign")
+	}
 	mwCfg := mw.Config{
 		Workers:   cfg.Workers,
 		StartTree: cfg.StartTree,
@@ -169,6 +190,8 @@ func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
 		Clock:   cfg.Clock,
 		Log:     cfg.Log,
 		Metrics: cfg.Metrics,
+		Trace:   cfg.Trace,
+		Flight:  cfg.Flight,
 	}
 	// Feed the search-level series (candidates scored, parallel rounds,
 	// pool occupancy) into the same registry the mw.* counters use, unless
@@ -179,6 +202,10 @@ func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
 	if cfg.Log == nil {
 		cfg.Log = obs.Discard()
 	}
+	// When the caller already installed a per-round progress hook on the
+	// search options (e.g. the CLI's trajectory logging), skip the Debug
+	// line here so each round is reported once; the metrics feed stays on.
+	logProgress := cfg.Search.OnProgress == nil
 	if cfg.Metrics != nil || cfg.Log.Enabled(nil, slog.LevelDebug) {
 		log, reg := cfg.Log, cfg.Metrics
 		mwCfg.OnProgress = func(job mw.Job, pr search.Progress) {
@@ -187,9 +214,11 @@ func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
 				reg.Gauge(obs.Key("search.logl", "kind", job.Kind.String(),
 					"index", fmt.Sprint(job.Index))).Set(pr.LogL)
 			}
-			log.Debug("search progress", "kind", job.Kind.String(), "index", job.Index,
-				"phase", pr.Phase, "round", pr.Round, "moves", pr.Moves,
-				"logl", pr.LogL, "alpha", pr.Alpha)
+			if logProgress {
+				log.Debug("search progress", "kind", job.Kind.String(), "index", job.Index,
+					"phase", pr.Phase, "round", pr.Round, "moves", pr.Moves,
+					"logl", pr.LogL, "alpha", pr.Alpha)
+			}
 		}
 	}
 	if cfg.MaxQuarantine >= 0 {
@@ -293,13 +322,26 @@ func InferOnce(pat *alignment.Patterns, cfg Config) (*search.Result, *likelihood
 	if err != nil {
 		return nil, nil, err
 	}
-	eng, err := likelihood.NewEngine(pat, mod, cfg.Kernel)
+	if !cfg.Trace.Enabled() && cfg.Metrics != nil {
+		tr := obs.NewSpanTracer(wallclock.Monotonic())
+		tr.SetRecording(false)
+		cfg.Trace = tr.Root("infer")
+	}
+	kcfg := cfg.Kernel
+	if cfg.Metrics != nil {
+		if now := cfg.Trace.TimeSource(); now != nil {
+			kcfg.Observer = obs.NewKernelHists(cfg.Metrics, kcfg.BackendName())
+			kcfg.Now = now
+		}
+	}
+	eng, err := likelihood.NewEngine(pat, mod, kcfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	if cfg.Search.Metrics == nil {
 		cfg.Search.Metrics = cfg.Metrics
 	}
+	cfg.Search.Trace = cfg.Trace
 	res, err := search.Run(eng, start, cfg.Search)
 	if err != nil {
 		return nil, nil, err

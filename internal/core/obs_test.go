@@ -1,12 +1,15 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"testing"
 
 	"raxmlcell/internal/obs"
+	"raxmlcell/internal/wallclock"
 )
 
 // TestAnalyzeLiveMetrics is the -debug-addr smoke test: while an analysis
@@ -112,5 +115,84 @@ func TestAnalysisMeterMatchesResults(t *testing.T) {
 	if a.Meter.NewviewCalls != nv || a.Meter.Flops() != flops {
 		t.Fatalf("Analysis.Meter (newview %d, flops %d) != summed results (newview %d, flops %d)",
 			a.Meter.NewviewCalls, a.Meter.Flops(), nv, flops)
+	}
+}
+
+// TestAnalyzeWallTraceEndToEnd is the full-pipeline trace acceptance test:
+// Analyze with an explicit recording tracer, a registry, and a flight
+// recorder must leave (1) a timeline that renders to valid Chrome trace
+// JSON with campaign/attempt/round spans attributed to jobs, (2) non-empty
+// kernel.<backend>.<op>_ms and search.round_ms latency histograms, and
+// (3) a flight stream bracketed by campaign.start / campaign.end.
+func TestAnalyzeWallTraceEndToEnd(t *testing.T) {
+	pat, _ := testPatterns(t, 8, 300, 7)
+	now := wallclock.Monotonic()
+	tracer := obs.NewSpanTracer(now)
+	flight := obs.NewFlightRecorder(0, now)
+	reg := obs.NewRegistry()
+
+	cfg := fastConfig()
+	cfg.Inferences, cfg.Bootstraps = 2, 3
+	cfg.Log = obs.Discard()
+	cfg.Metrics = reg
+	cfg.Trace = tracer.Root("campaign")
+	cfg.Flight = flight
+	a, err := Analyze(pat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best == nil {
+		t.Fatal("analysis produced no best tree")
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := obs.ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ValidateTrace on the real pipeline's timeline: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("pipeline recorded an empty timeline")
+	}
+	trace := buf.String()
+	for _, frag := range []string{
+		`"name":"campaign"`, `"name":"attempt"`, `"name":"round"`,
+		`"name":"smooth"`, `"job":"inference#0"`, `"job":"bootstrap#2"`,
+	} {
+		if !strings.Contains(trace, frag) {
+			t.Errorf("pipeline trace missing %s", frag)
+		}
+	}
+	if d := tracer.Dropped(); d != 0 {
+		t.Errorf("tracer dropped %d events on a small campaign", d)
+	}
+
+	snap := reg.Snapshot()
+	counts := map[string]uint64{}
+	for _, h := range snap.Histograms {
+		counts[h.Name] = h.Count
+	}
+	backend := cfg.Kernel.BackendName()
+	for _, name := range []string{
+		"kernel." + backend + ".newview_ms",
+		"search.round_ms",
+		"mw.attempt_ms",
+	} {
+		if counts[name] == 0 {
+			t.Errorf("histogram %s empty after a full analysis (%v)", name, counts)
+		}
+	}
+
+	kinds := map[string]int{}
+	for _, ev := range flight.Snapshot() {
+		kinds[ev.Kind]++
+	}
+	if kinds["campaign.start"] != 1 || kinds["campaign.end"] != 1 {
+		t.Fatalf("flight stream not bracketed: %v", kinds)
+	}
+	if kinds["attempt"] == 0 {
+		t.Fatalf("flight stream has no attempt events: %v", kinds)
 	}
 }

@@ -236,8 +236,22 @@ func (c *Ctx) computeView(p *phylotree.Node) {
 }
 
 // evaluate computes the log-likelihood of the tree across the branch
-// (p, p.Back), optionally filling perSite with per-pattern logs.
+// (p, p.Back), optionally filling perSite with per-pattern logs. It is a
+// thin timing shell over evaluateKernel so the kernel body keeps its early
+// error returns without threading the observer through each of them.
 func (c *Ctx) evaluate(p *phylotree.Node, perSite []float64) (float64, error) {
+	e := c.eng
+	if e.kobs == nil {
+		return c.evaluateKernel(p, perSite)
+	}
+	t0 := e.know()
+	logL, err := c.evaluateKernel(p, perSite)
+	e.kobs.ObserveKernel(OpEvaluate, e.know()-t0)
+	return logL, err
+}
+
+// evaluateKernel is the evaluate body (see evaluate).
+func (c *Ctx) evaluateKernel(p *phylotree.Node, perSite []float64) (float64, error) {
 	e := c.eng
 	q := p.Back
 	if q == nil {

@@ -3,6 +3,7 @@ package likelihood
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"raxmlcell/internal/alignment"
 	"raxmlcell/internal/model"
@@ -60,6 +61,16 @@ type Config struct {
 	// backend must agree with scalar to ≤1e-9 logL. Empty means
 	// DefaultBackend.
 	Backend string
+
+	// Observer, when set together with Now, receives the elapsed wall time
+	// of every kernel entry point (newview combine, makenewz Newton solve,
+	// evaluate). Now is the monotonic time source the engine reads around
+	// each call — injected rather than time.Now so deterministic harnesses
+	// stay in control of the clock. Both must be non-nil for timing to
+	// engage; otherwise the kernels run exactly as before, with zero
+	// overhead.
+	Observer KernelObserver
+	Now      func() time.Duration
 }
 
 // BackendName resolves the configured backend name, mapping the empty
@@ -112,6 +123,11 @@ type Engine struct {
 	// backend runs the kernels' per-pattern inner loops (Config.Backend).
 	// One stateless value serves every context of the engine.
 	backend Backend
+
+	// kobs/know are Config.Observer/Config.Now, cached here so the kernel
+	// entry points test one pointer; both nil unless both were configured.
+	kobs KernelObserver
+	know func() time.Duration
 
 	// ctx0 is the primary kernel context backing the Engine methods; its
 	// meter/underflow sinks are the engine's own counters.
@@ -186,6 +202,10 @@ func NewEngine(pat *alignment.Patterns, mod *model.Model, cfg Config) (*Engine, 
 		return nil, err
 	}
 	e.backend = bk
+	if cfg.Observer != nil && cfg.Now != nil {
+		e.kobs = cfg.Observer
+		e.know = cfg.Now
+	}
 	e.ctx0 = e.newPrimaryCtx()
 	return e, nil
 }

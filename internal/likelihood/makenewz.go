@@ -3,6 +3,7 @@ package likelihood
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"raxmlcell/internal/phylotree"
 )
@@ -100,6 +101,11 @@ func (c *Ctx) buildSumTable(pLv []float64, pSc []int32, qData []byte, qLv []floa
 // lazy-SPR scorer (newtonOnBranch).
 func (c *Ctx) newtonSolve(z0, scaleConst float64) (bestT, bestLL float64) {
 	e := c.eng
+	var tObs time.Duration
+	timed := e.kobs != nil
+	if timed {
+		tObs = e.know()
+	}
 	g := e.Mod.GTR
 
 	// lamr[matrix][k] = λ_k · r_c, one block per distinct rate category.
@@ -165,6 +171,9 @@ func (c *Ctx) newtonSolve(z0, scaleConst float64) (bestT, bestLL float64) {
 	ll, _, _ := likelihoodAt(t)
 	if ll >= bestLL {
 		bestLL, bestT = ll, t
+	}
+	if timed {
+		e.kobs.ObserveKernel(OpMakenewz, e.know()-tObs)
 	}
 	return bestT, bestLL
 }

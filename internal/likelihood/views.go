@@ -2,6 +2,7 @@ package likelihood
 
 import (
 	"fmt"
+	"time"
 
 	"raxmlcell/internal/phylotree"
 )
@@ -147,6 +148,11 @@ func (c *Ctx) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int32,
 	dst []float64, dstScale []int32) {
 
 	e := c.eng
+	var t0 time.Duration
+	timed := e.kobs != nil
+	if timed {
+		t0 = e.know()
+	}
 	c.meter.NewviewCalls++
 	c.transitionMatrices(zq, c.pLeft)
 	c.transitionMatrices(zr, c.pRight)
@@ -206,6 +212,9 @@ func (c *Ctx) combine(q *phylotree.Node, zq float64, qLv []float64, qSc []int32,
 		n++
 	}
 	c.meter.BytesStreamed += n * bytesPerVec
+	if timed {
+		e.kobs.ObserveKernel(OpNewview, e.know()-t0)
+	}
 }
 
 // InsertionScore evaluates the lazy-SPR score of regrafting a pruned

@@ -33,6 +33,13 @@ func TestHotPathAllocSearchGolden(t *testing.T) {
 	linttest.Run(t, lint.HotPathAlloc, "raxmlcell/internal/search", "testdata/hotpathalloc/search")
 }
 
+// The obs hot-path helpers (Histogram.Observe, FlightRecorder.Record, the
+// span emitters) run once per kernel call or supervision event, so the
+// allocation bans extend to them.
+func TestHotPathAllocObsGolden(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "raxmlcell/internal/obs", "testdata/hotpathalloc/obs")
+}
+
 func TestFloatCmpGolden(t *testing.T) {
 	linttest.Run(t, lint.FloatCmp, "raxmlcell/internal/model", "testdata/floatcmp")
 }
@@ -113,6 +120,7 @@ func TestAnalyzerScopes(t *testing.T) {
 		{lint.InvalidatePair, "raxmlcell/internal/sim", false},
 		{lint.HotPathAlloc, "raxmlcell/internal/likelihood", true},
 		{lint.HotPathAlloc, "raxmlcell/internal/search", true},
+		{lint.HotPathAlloc, "raxmlcell/internal/obs", true},
 		{lint.HotPathAlloc, "raxmlcell/internal/core", false},
 		{lint.CtxOwnership, "raxmlcell/internal/likelihood", true},
 		{lint.CtxOwnership, "raxmlcell/internal/search", true},

@@ -28,9 +28,17 @@ import (
 // pattern block, so the fragments below include tile/sumtable/newton to
 // keep every backend implementation in scope.
 //
+// The observability helpers ride the same loops: Histogram.Observe and the
+// kernel-observer adapter run once per kernel call, FlightRecorder.Record
+// runs on every supervision event, and the span helpers bracket every
+// round and candidate batch. An allocation in any of them silently taxes
+// whatever hot path they instrument — the whole point of the obs v2 design
+// is that instrumentation must be free — so internal/obs is in scope and
+// the fragments include observe/record/span.
+//
 // Inside functions whose name contains combine/newview/makenewz/evaluate/
-// fastexp/spr/nni/insertion/tile/sumtable/newton (case-insensitive), the
-// analyzer reports:
+// fastexp/spr/nni/insertion/tile/sumtable/newton/observe/record/span
+// (case-insensitive), the analyzer reports:
 //
 //   - make(), append(), new() and slice/map composite literals inside any
 //     loop — preallocate scratch buffers on the Engine (kernels) or the
@@ -42,14 +50,14 @@ import (
 //   - math.Exp calls anywhere in the kernel.
 var HotPathAlloc = &Analyzer{
 	Name: "hotpathalloc",
-	Doc:  "report per-pattern-loop allocations and raw math.Exp in the likelihood kernels and search rounds",
+	Doc:  "report per-pattern-loop allocations and raw math.Exp in the likelihood kernels, search rounds and obs hot-path helpers",
 	Match: func(pkgPath string) bool {
-		return pathHasAny(pkgPath, "internal/likelihood", "internal/search")
+		return pathHasAny(pkgPath, "internal/likelihood", "internal/search", "internal/obs")
 	},
 	Run: runHotPathAlloc,
 }
 
-var hotFuncFragments = []string{"combine", "newview", "makenewz", "evaluate", "fastexp", "spr", "nni", "insertion", "tile", "sumtable", "newton"}
+var hotFuncFragments = []string{"combine", "newview", "makenewz", "evaluate", "fastexp", "spr", "nni", "insertion", "tile", "sumtable", "newton", "observe", "record", "span"}
 
 func isHotFuncName(name string) bool {
 	lower := strings.ToLower(name)

@@ -1,0 +1,65 @@
+// Golden input for the obs extension of the hotpathalloc scope: this file
+// pretends to live in raxmlcell/internal/obs. Functions whose names
+// contain observe/record/span are the instrumentation hot path — they run
+// once per kernel call, supervision event or search round, so an
+// allocation inside them taxes whatever they instrument.
+package obs
+
+import "fmt"
+
+type event struct {
+	kind string
+	at   float64
+}
+
+func observeBatch(samples []float64) float64 {
+	total := 0.0
+	for _, s := range samples {
+		bins := make([]float64, 8)         // want `make allocates inside a per-pattern loop`
+		labels := []string{"le", "bucket"} // want `slice/map literal allocates inside a per-pattern loop`
+		total += s + bins[0] + float64(len(labels))
+	}
+	return total
+}
+
+func recordEvents(kinds []string) []event {
+	var out []event
+	for _, k := range kinds {
+		out = append(out, event{kind: k}) // want `append inside a per-pattern loop`
+		_ = fmt.Sprintf("flight: %s", k)  // want `fmt.Sprintf inside a per-pattern loop`
+	}
+	return out
+}
+
+func spanEmit(n int) float64 {
+	emit := func(i int) float64 {
+		buf := make([]event, 1) // want `make allocates inside a per-iteration closure`
+		buf[0].at = float64(i)
+		return buf[0].at
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += emit(i)
+	}
+	return s
+}
+
+// observePrealloc is the sanctioned idiom: fixed-size state allocated once
+// at construction, only indexed on the hot path — nothing to report.
+func observePrealloc(bins []float64, v float64) {
+	for i := range bins {
+		if v >= float64(i) {
+			bins[i]++
+		}
+	}
+}
+
+// snapshotDump is outside the hot set (snapshots are cold, taken on
+// failure or scrape): the same patterns are allowed.
+func snapshotDump(events []event) []string {
+	var out []string
+	for _, e := range events {
+		out = append(out, fmt.Sprintf("%s@%v", e.kind, e.at))
+	}
+	return out
+}

@@ -171,7 +171,8 @@ func saveCheckpoint(path string, done []JobResult) error {
 type checkpointer struct {
 	path     string
 	inj      *fault.Injector
-	cfg      *Config // for Log/Metrics; never nil once constructed
+	cfg      *Config        // for Log/Metrics/Trace/Flight; never nil once constructed
+	saveHist *obs.Histogram // checkpoint.save_ms (nil without Metrics)
 	done     []JobResult
 	idx      map[Job]int
 	writes   int // save ordinals, for deterministic fault decisions
@@ -181,6 +182,9 @@ type checkpointer struct {
 
 func newCheckpointer(path string, cfg *Config, restored []JobResult) *checkpointer {
 	c := &checkpointer{path: path, inj: cfg.Fault, cfg: cfg, idx: make(map[Job]int, len(restored))}
+	if cfg.Metrics != nil {
+		c.saveHist = cfg.Metrics.Histogram("checkpoint.save_ms", obs.MsBuckets)
+	}
 	for _, r := range restored {
 		c.idx[r.Job] = len(c.done)
 		c.done = append(c.done, r)
@@ -209,14 +213,22 @@ func (c *checkpointer) record(o *outcome) {
 	if c.cfg.Metrics != nil {
 		c.cfg.Metrics.Counter("mw.checkpoint_writes").Inc()
 	}
+	label := jobLabel(o.result.Job)
+	sp := c.cfg.Trace.WithTrack("checkpoint").Start("checkpoint.save", "mw")
 	if c.inj != nil && c.inj.CheckpointWrite(c.writes) {
+		sp.EndObserve(c.saveHist)
+		c.cfg.Flight.Record("checkpoint.fail", label, 0, -1, fault.ErrInjected.Error())
 		c.noteFailure(fault.ErrInjected)
 		return
 	}
 	if err := saveCheckpoint(c.path, c.done); err != nil {
+		sp.EndObserve(c.saveHist)
+		c.cfg.Flight.Record("checkpoint.fail", label, 0, -1, err.Error())
 		c.noteFailure(err)
 		return
 	}
+	sp.EndObserve(c.saveHist)
+	c.cfg.Flight.Record("checkpoint.save", label, 0, -1, "")
 	c.dirty = false
 }
 
@@ -255,9 +267,12 @@ func SuperviseWithCheckpoint(pat *alignment.Patterns, mod *model.Model, jobs []J
 	if recovered {
 		cfg.Log.Warn("damaged checkpoint set aside, lost jobs will be recomputed",
 			"path", path, "aside", path+".corrupt")
+		cfg.Trace.WithTrack("checkpoint").Instant("checkpoint.recover", "mw")
+		cfg.Flight.Record("checkpoint.recover", "", 0, -1, "damaged file set aside: "+path+".corrupt")
 	}
 	if len(restored) > 0 {
 		cfg.Log.Info("resuming from checkpoint", "path", path, "restored", len(restored))
+		cfg.Flight.Record("checkpoint.resume", "", 0, -1, fmt.Sprintf("restored=%d", len(restored)))
 	}
 	restoredOK := make(map[Job]bool, len(restored))
 	for _, r := range restored {

@@ -1,0 +1,208 @@
+package mw
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"raxmlcell/internal/fault"
+	"raxmlcell/internal/obs"
+	"raxmlcell/internal/search"
+)
+
+// fakeClock is a deterministic monotonic source for the wall-clock tracer
+// (this package is under simdeterminism: no time.Now in non-test code, and
+// tests stay deterministic by construction).
+func fakeClock() func() time.Duration {
+	var n atomic.Int64
+	return func() time.Duration { return time.Duration(n.Add(1)) * time.Microsecond }
+}
+
+// TestFlightChaosDumpQuarantine is the acceptance scenario for the flight
+// recorder: a crash+corrupt p=0.3 campaign over 4 workers must attach a
+// non-empty, self-consistent flight snapshot to every quarantined job, and
+// the recorder's full dump must pass ValidateFlight.
+func TestFlightChaosDumpQuarantine(t *testing.T) {
+	pat, m := testData(t, 7, 150)
+	seed := chaosSeed(t)
+	// A wide plan with a single attempt per job: at p=0.6 total fault rate a
+	// healthy fraction of the 24 jobs lose their only attempt to a crash or
+	// corruption and quarantine — the scenario needs bodies. (Seed 42's
+	// attempt-1 draws for the narrow Plan(2,6) plan all happen to land in
+	// the fault-free region, so the plan is deliberately wide.)
+	jobs := Plan(4, 20, seed)
+
+	flight := obs.NewFlightRecorder(0, fakeClock())
+	tracer := obs.NewSpanTracer(fakeClock())
+	rep, err := Supervise(pat, m, jobs, Config{
+		Workers: 4,
+		Search:  fastSearch(),
+		Retry:   RetryPolicy{MaxAttempts: 1},
+		Fault:   mustInjector(t, fault.Config{PCrash: 0.3, PCorrupt: 0.3, Seed: seed}),
+		Flight:  flight,
+		Trace:   tracer.Root("campaign"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) == 0 {
+		t.Fatalf("chaos campaign quarantined nothing (seed %d); the scenario needs at least one post-mortem", seed)
+	}
+
+	for _, q := range rep.Quarantined {
+		if len(q.Flight) == 0 {
+			t.Fatalf("quarantined %v #%d carries no flight snapshot", q.Job.Kind, q.Job.Index)
+		}
+		label := q.Job.Kind.String() + "#" + itoa(q.Job.Index)
+		sawQuarantine := false
+		var prev uint64
+		for i, ev := range q.Flight {
+			if i > 0 && ev.Seq <= prev {
+				t.Fatalf("flight snapshot out of order: seq %d after %d", ev.Seq, prev)
+			}
+			prev = ev.Seq
+			if ev.Kind == "quarantine" && ev.Job == label {
+				sawQuarantine = true
+			}
+		}
+		if !sawQuarantine {
+			t.Errorf("flight snapshot for %s lacks its quarantine event", label)
+		}
+	}
+
+	// The recorder's own dump — what /debug/flight and -flight-out emit —
+	// must self-validate, and it must contain the campaign bracketing plus
+	// fault and attempt events.
+	var buf bytes.Buffer
+	if err := flight.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.String()
+	if n, err := obs.ValidateFlight(bytes.NewReader(buf.Bytes())); err != nil || n == 0 {
+		t.Fatalf("flight dump invalid (%d events): %v", n, err)
+	}
+	for _, kind := range []string{"campaign.start", "campaign.end", "attempt", "fault", "quarantine"} {
+		if !strings.Contains(dump, `"kind": "`+kind+`"`) {
+			t.Errorf("flight dump missing %q events:\n%s", kind, dump)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestSuperviseAttemptHistogram pins the mw.attempt_ms wiring: with a trace
+// context supplying the clock, every attempt feeds exactly one sample.
+func TestSuperviseAttemptHistogram(t *testing.T) {
+	pat, m := testData(t, 8, 300)
+	jobs := Plan(2, 2, 7)
+	reg := obs.NewRegistry()
+	tracer := obs.NewSpanTracer(fakeClock())
+	tracer.SetRecording(false) // histograms must not require timeline capture
+
+	rep, err := Supervise(pat, m, jobs, Config{
+		Workers: 2,
+		Search:  fastSearch(),
+		Metrics: reg,
+		Trace:   tracer.Root("campaign"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name == "mw.attempt_ms" {
+			found = true
+			if h.Count != uint64(rep.Stats.Attempts) {
+				t.Errorf("mw.attempt_ms count = %d, Stats.Attempts = %d", h.Count, rep.Stats.Attempts)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("mw.attempt_ms histogram missing from snapshot")
+	}
+	if tracer.Len() != 0 {
+		t.Fatalf("non-recording tracer retained %d events", tracer.Len())
+	}
+}
+
+// TestSupervisePanicRecovery drives a panicking search hook through the
+// supervisor: the panic must become a quarantine (not tear the campaign
+// down) and leave "panic" events in the flight recorder.
+func TestSupervisePanicRecovery(t *testing.T) {
+	pat, m := testData(t, 8, 300)
+	jobs := Plan(1, 0, 7)
+	flight := obs.NewFlightRecorder(0, nil)
+
+	sOpts := fastSearch()
+	sOpts.OnProgress = func(pr search.Progress) { panic("injected test panic") }
+	rep, err := Supervise(pat, m, jobs, Config{
+		Workers: 2,
+		Search:  sOpts,
+		Retry:   RetryPolicy{MaxAttempts: 2},
+		Flight:  flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 {
+		t.Fatalf("quarantined %d jobs, want 1", len(rep.Quarantined))
+	}
+	if got := rep.Quarantined[0].Err; got == nil || !strings.Contains(got.Error(), "panic") {
+		t.Fatalf("quarantine error %v, want a panic conversion", got)
+	}
+	panics := 0
+	for _, ev := range flight.Snapshot() {
+		if ev.Kind == "panic" {
+			panics++
+			if !strings.Contains(ev.Detail, "injected test panic") {
+				t.Errorf("panic event lost the panic value: %q", ev.Detail)
+			}
+		}
+	}
+	if panics != 2 { // one per attempt
+		t.Fatalf("flight recorded %d panic events, want 2", panics)
+	}
+}
+
+// TestOnProgressChaining guards the hook composition in runJob: a caller's
+// search-level OnProgress and the campaign-level per-job OnProgress must
+// both fire (the mw layer chains, it does not overwrite).
+func TestOnProgressChaining(t *testing.T) {
+	pat, m := testData(t, 8, 300)
+	jobs := Plan(1, 0, 7)
+
+	var searchHook, jobHook atomic.Int64
+	sOpts := fastSearch()
+	sOpts.OnProgress = func(pr search.Progress) { searchHook.Add(1) }
+	_, err := Supervise(pat, m, jobs, Config{
+		Workers: 1,
+		Search:  sOpts,
+		OnProgress: func(job Job, pr search.Progress) {
+			jobHook.Add(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if searchHook.Load() == 0 {
+		t.Fatal("search-level OnProgress was overwritten by the campaign hook")
+	}
+	if searchHook.Load() != jobHook.Load() {
+		t.Fatalf("hooks fired unevenly: search %d, job %d", searchHook.Load(), jobHook.Load())
+	}
+}

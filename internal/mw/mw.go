@@ -86,10 +86,25 @@ type Config struct {
 	Log *slog.Logger
 
 	// Metrics, when non-nil, receives live campaign accounting: the
-	// mw.* supervision counters, the running best log-likelihood, and the
+	// mw.* supervision counters, the running best log-likelihood, the
+	// mw.attempt_ms / kernel.<backend>.<op>_ms latency histograms, and the
 	// kernel.* meter aggregate republished after every completed job —
 	// the feed behind the /metrics debug endpoint.
 	Metrics *obs.Registry
+
+	// Trace is the wall-clock span context the campaign records into: the
+	// campaign span, per-worker tracks, job attempt/backoff spans, and
+	// checkpoint saves, all propagated down into the search layer. The
+	// zero Ctx disables tracing; its injected time source (when present)
+	// also drives the latency histograms and kernel timing, so Metrics
+	// without a Trace records no durations.
+	Trace obs.Ctx
+
+	// Flight, when non-nil, receives the structured supervision event
+	// stream (attempts, retries, timeouts, quarantines, checkpoint
+	// activity) into a fixed-size ring for post-mortems; each Quarantine
+	// carries a snapshot of the window at the moment it was declared.
+	Flight *obs.FlightRecorder
 
 	// OnProgress, when non-nil, receives each job's search trajectory
 	// (per-round log-likelihood). It may be called concurrently from
@@ -125,8 +140,10 @@ func Run(pat *alignment.Patterns, mod *model.Model, jobs []Job, cfg Config) ([]J
 }
 
 // runJob executes one search end to end; it owns a private engine, RNG and
-// meter so workers share nothing mutable.
-func runJob(pat *alignment.Patterns, mod *model.Model, job Job, cfg Config) JobResult {
+// meter so workers share nothing mutable. tctx is the job-labeled span
+// context the search records into; its time source also drives the
+// per-backend kernel latency histograms.
+func runJob(pat *alignment.Patterns, mod *model.Model, job Job, cfg Config, tctx obs.Ctx) JobResult {
 	res := JobResult{Job: job}
 	rng := rand.New(rand.NewSource(job.Seed))
 
@@ -134,7 +151,14 @@ func runJob(pat *alignment.Patterns, mod *model.Model, job Job, cfg Config) JobR
 	if job.Kind == Bootstrap {
 		work = alignment.BootstrapReplicate(pat, rng)
 	}
-	eng, err := likelihood.NewEngine(work, mod, cfg.Kernel)
+	kcfg := cfg.Kernel
+	if cfg.Metrics != nil {
+		if now := tctx.TimeSource(); now != nil {
+			kcfg.Observer = obs.NewKernelHists(cfg.Metrics, kcfg.BackendName())
+			kcfg.Now = now
+		}
+	}
+	eng, err := likelihood.NewEngine(work, mod, kcfg)
 	if err != nil {
 		res.Err = err
 		return res
@@ -145,9 +169,18 @@ func runJob(pat *alignment.Patterns, mod *model.Model, job Job, cfg Config) JobR
 		return res
 	}
 	opts := cfg.Search
+	opts.Trace = tctx
 	if cfg.OnProgress != nil {
-		// Bind the job identity into the per-step trajectory hook.
-		opts.OnProgress = func(pr search.Progress) { cfg.OnProgress(job, pr) }
+		// Bind the job identity into the per-step trajectory hook, chaining
+		// rather than replacing a hook the caller set on the search options
+		// themselves (e.g. the CLI's per-round trajectory logging).
+		prev := opts.OnProgress
+		opts.OnProgress = func(pr search.Progress) {
+			if prev != nil {
+				prev(pr)
+			}
+			cfg.OnProgress(job, pr)
+		}
 	}
 	out, err := search.Run(eng, start, opts)
 	if err != nil {

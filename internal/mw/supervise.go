@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -61,6 +62,11 @@ type Quarantine struct {
 	Job      Job
 	Attempts int
 	Err      error // the last attempt's failure
+
+	// Flight is the flight-recorder window snapshotted at the moment the
+	// quarantine was declared (nil when no recorder is configured) — the
+	// last few thousand supervision events leading up to the failure.
+	Flight []obs.FlightEvent
 }
 
 // Stats aggregates supervision counters across a campaign.
@@ -162,6 +168,10 @@ type supervisor struct {
 	cfg Config
 	log *slog.Logger
 
+	// attemptHist is the mw.attempt_ms latency histogram, resolved once
+	// (nil without Metrics).
+	attemptHist *obs.Histogram
+
 	mu          sync.Mutex
 	stats       Stats
 	quarantined []Quarantine
@@ -237,21 +247,29 @@ func supervise(pat *alignment.Patterns, mod *model.Model, jobs []Job, cfg Config
 	if cfg.Metrics != nil {
 		cfg.Metrics.Gauge("mw.jobs_total").Set(float64(len(jobs)))
 		cfg.Metrics.Gauge("mw.workers").Set(float64(cfg.Workers))
+		s.attemptHist = cfg.Metrics.Histogram("mw.attempt_ms", obs.MsBuckets)
 	}
 	s.log.Info("campaign start", "jobs", len(jobs), "workers", cfg.Workers,
 		"max_attempts", cfg.Retry.maxAttempts())
+	campaign := cfg.Trace.Start("campaign", "mw")
+	cfg.Flight.Record("campaign.start", "", 0, -1,
+		fmt.Sprintf("jobs=%d workers=%d", len(jobs), cfg.Workers))
 
 	jobCh := make(chan Job)
 	outCh := make(chan outcome, len(jobs))
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Each worker records onto its own trace track, so the timeline
+			// shows the campaign's occupancy the way the sim tracer shows
+			// SPE lanes.
+			wctx := cfg.Trace.WithTrack("worker-" + strconv.Itoa(w)).WithWorker(w)
 			for job := range jobCh {
-				outCh <- s.superviseJob(job)
+				outCh <- s.superviseJob(job, w, wctx)
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		defer close(jobCh)
@@ -307,6 +325,10 @@ func supervise(pat *alignment.Patterns, mod *model.Model, jobs []Job, cfg Config
 		}
 	}
 
+	campaign.End()
+	cfg.Flight.Record("campaign.end", "", 0, -1,
+		fmt.Sprintf("done=%d quarantined=%d", len(rep.Results), s.quarantineCount()))
+
 	sortResults(rep.Results)
 	s.mu.Lock()
 	rep.Stats = s.stats
@@ -326,9 +348,19 @@ func supervise(pat *alignment.Patterns, mod *model.Model, jobs []Job, cfg Config
 	return rep, nil
 }
 
+// jobLabel names a job the way trace args and flight events carry it.
+func jobLabel(job Job) string {
+	return job.Kind.String() + "#" + strconv.Itoa(job.Index)
+}
+
 // superviseJob drives one job through its attempt budget: backoff, deadline
-// enforcement, result validation, and finally success or quarantine.
-func (s *supervisor) superviseJob(job Job) outcome {
+// enforcement, result validation, and finally success or quarantine. worker
+// is the supervision worker index the job landed on; wctx is that worker's
+// trace context.
+func (s *supervisor) superviseJob(job Job, worker int, wctx obs.Ctx) outcome {
+	label := jobLabel(job)
+	jctx := wctx.WithJob(label)
+	flight := s.cfg.Flight
 	budget := s.cfg.Retry.maxAttempts()
 	var last JobResult
 	for attempt := 1; attempt <= budget; attempt++ {
@@ -344,31 +376,50 @@ func (s *supervisor) superviseJob(job Job) outcome {
 			d := backoffDelay(s.cfg.Retry, job.Seed, attempt)
 			s.log.Warn("retrying job", "kind", job.Kind.String(), "index", job.Index,
 				"attempt", attempt, "backoff", d, "last_error", last.Err)
+			flight.Record("backoff", label, attempt, worker, d.String())
 			if d > 0 && s.cfg.Clock != nil {
+				bsp := jctx.Start("backoff", "mw")
 				s.cfg.Clock.Sleep(d)
+				bsp.End()
 			}
 		}
 		s.note(func(st *Stats) { st.Attempts++ })
 		s.count("mw.attempts")
-		r, timedOut := s.attemptOnce(job, attempt)
+		flight.Record("attempt", label, attempt, worker, "")
+		asp := jctx.Start("attempt", "mw")
+		r, timedOut := s.attemptOnce(job, attempt, worker, jctx)
+		asp.EndObserve(s.attemptHist)
 		if timedOut {
 			s.note(func(st *Stats) { st.Timeouts++ })
 			s.count("mw.timeouts")
+			flight.Record("timeout", label, attempt, worker, s.cfg.Retry.JobTimeout.String())
 		}
 		if r.Err == nil {
 			if verr := ValidateResult(&r); verr != nil {
 				r.Err = verr
 				s.log.Warn("result failed validation", "kind", job.Kind.String(),
 					"index", job.Index, "attempt", attempt, "error", verr)
+				flight.Record("invalid-result", label, attempt, worker, verr.Error())
 			} else {
 				s.log.Debug("job done", "kind", job.Kind.String(), "index", job.Index,
 					"attempts", attempt, "logl", r.LogL, "alpha", r.Alpha)
+				flight.Record("attempt.ok", label, attempt, worker, "")
 				return outcome{result: r, attempts: attempt}
 			}
+		} else if !timedOut {
+			flight.Record("attempt.err", label, attempt, worker, r.Err.Error())
 		}
 		last = r
 	}
-	s.noteQuarantine(Quarantine{Job: job, Attempts: budget, Err: last.Err})
+	var errDetail string
+	if last.Err != nil {
+		errDetail = last.Err.Error()
+	}
+	flight.Record("quarantine", label, budget, worker, errDetail)
+	jctx.Instant("quarantine", "mw")
+	// Snapshot *after* recording the quarantine event, so the dump attached
+	// to the Quarantine includes it.
+	s.noteQuarantine(Quarantine{Job: job, Attempts: budget, Err: last.Err, Flight: flight.Snapshot()})
 	s.count("mw.quarantined")
 	s.log.Error("job quarantined", "kind", job.Kind.String(), "index", job.Index,
 		"attempts", budget, "error", last.Err)
@@ -377,22 +428,23 @@ func (s *supervisor) superviseJob(job Job) outcome {
 
 // attemptOnce runs a single attempt, arming the per-job deadline when one
 // is configured. The second return value reports a deadline expiry.
-func (s *supervisor) attemptOnce(job Job, attempt int) (JobResult, bool) {
+func (s *supervisor) attemptOnce(job Job, attempt, worker int, jctx obs.Ctx) (JobResult, bool) {
 	var dec fault.Decision
 	if s.cfg.Fault != nil {
 		dec = s.cfg.Fault.JobAttempt(job.Seed, attempt)
 		if dec.Kind != fault.None {
 			s.note(func(st *Stats) { st.FaultsInjected++ })
 			s.count("mw.faults_injected")
+			s.cfg.Flight.Record("fault", jobLabel(job), attempt, worker, dec.Kind.String())
 		}
 	}
 	timeout := s.cfg.Retry.JobTimeout
 	if timeout <= 0 || s.cfg.Clock == nil {
-		return s.execute(job, attempt, dec, nil), false
+		return s.execute(job, attempt, worker, jctx, dec, nil), false
 	}
 	done := make(chan JobResult, 1) // buffered: an abandoned attempt still exits
 	kill := make(chan struct{})
-	go func() { done <- s.execute(job, attempt, dec, kill) }()
+	go func() { done <- s.execute(job, attempt, worker, jctx, dec, kill) }()
 	select {
 	case r := <-done:
 		return r, false
@@ -409,7 +461,7 @@ func (s *supervisor) attemptOnce(job Job, attempt int) (JobResult, bool) {
 // execute runs one attempt end to end, applying the injected fault. kill is
 // non-nil only when a deadline is armed; a Hang fault blocks on it so the
 // goroutine exits once the supervisor abandons the attempt.
-func (s *supervisor) execute(job Job, attempt int, dec fault.Decision, kill <-chan struct{}) JobResult {
+func (s *supervisor) execute(job Job, attempt, worker int, jctx obs.Ctx, dec fault.Decision, kill <-chan struct{}) JobResult {
 	switch dec.Kind {
 	case fault.Crash:
 		return JobResult{Job: job, Err: fmt.Errorf("worker crash on %v job %d attempt %d: %w",
@@ -429,11 +481,26 @@ func (s *supervisor) execute(job Job, attempt int, dec fault.Decision, kill <-ch
 			s.cfg.Clock.Sleep(dec.Delay)
 		}
 	}
-	r := runJob(s.pat, s.mod, job, s.cfg)
+	r := s.runJobSafe(job, attempt, worker, jctx)
 	if dec.Kind == fault.Corrupt && r.Err == nil {
 		corruptResult(&r, dec.Coin)
 	}
 	return r
+}
+
+// runJobSafe converts a panicking search into a failed attempt: the
+// supervision loop then retries or quarantines it like any other failure
+// instead of tearing the whole campaign down, and the flight recorder keeps
+// the panic value for the post-mortem.
+func (s *supervisor) runJobSafe(job Job, attempt, worker int, tctx obs.Ctx) (res JobResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.cfg.Flight.Record("panic", jobLabel(job), attempt, worker, fmt.Sprint(p))
+			res = JobResult{Job: job, Err: fmt.Errorf("worker panic on %v job %d attempt %d: %v",
+				job.Kind, job.Index, attempt, p)}
+		}
+	}()
+	return runJob(s.pat, s.mod, job, s.cfg, tctx)
 }
 
 // corruptResult deterministically mangles a completed result the way a

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultFlightCapacity is the ring size used when a caller passes a
+// non-positive capacity.
+const DefaultFlightCapacity = 4096
+
+// FlightEvent is one structured entry in the flight recorder: what
+// happened, to which job, on which worker, when (milliseconds on the
+// recorder's injected clock). Events are plain data so a snapshot taken at
+// quarantine time stays meaningful long after the campaign state is gone.
+type FlightEvent struct {
+	Seq     uint64  `json:"seq"`
+	AtMs    float64 `json:"at_ms"`
+	Kind    string  `json:"kind"`
+	Job     string  `json:"job,omitempty"`
+	Attempt int     `json:"attempt,omitempty"`
+	Worker  int     `json:"worker"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// FlightRecorder is a fixed-capacity, lock-free ring buffer of the most
+// recent structured events — the post-mortem trail behind job failures.
+// Writers claim a slot with one atomic increment and publish the event with
+// one atomic pointer store, so recording never blocks the supervision hot
+// path and is safe from any number of goroutines; old events are simply
+// overwritten. Snapshot reassembles the surviving window in order.
+//
+// The clock is injected (nil is allowed and stamps every event at 0ms) for
+// the same simdeterminism reason as SpanTracer.
+type FlightRecorder struct {
+	now   func() time.Duration
+	seq   atomic.Uint64
+	slots []atomic.Pointer[FlightEvent]
+}
+
+// NewFlightRecorder returns a recorder holding the last capacity events
+// (<= 0 selects DefaultFlightCapacity) stamped by the given monotonic time
+// source (nil disables timestamps).
+func NewFlightRecorder(capacity int, now func() time.Duration) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{now: now, slots: make([]atomic.Pointer[FlightEvent], capacity)}
+}
+
+// Record appends one event to the ring; a nil recorder is a no-op so call
+// sites need no guard.
+func (f *FlightRecorder) Record(kind, job string, attempt, worker int, detail string) {
+	if f == nil {
+		return
+	}
+	ev := &FlightEvent{Kind: kind, Job: job, Attempt: attempt, Worker: worker, Detail: detail}
+	if f.now != nil {
+		ev.AtMs = float64(f.now()) / float64(time.Millisecond)
+	}
+	ev.Seq = f.seq.Add(1)
+	f.slots[(ev.Seq-1)%uint64(len(f.slots))].Store(ev)
+}
+
+// Recorded reports the total number of events ever recorded (including
+// those the ring has since overwritten).
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Capacity reports the ring size.
+func (f *FlightRecorder) Capacity() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Snapshot returns the surviving window, oldest first. It is safe to call
+// concurrently with writers; a slot being overwritten during the copy
+// yields either the old or the new event, both of which really happened.
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		if ev := f.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// flightDump is the JSON file/endpoint schema of a recorder snapshot.
+type flightDump struct {
+	Capacity int           `json:"capacity"`
+	Recorded uint64        `json:"recorded"`
+	Events   []FlightEvent `json:"events"`
+}
+
+// WriteJSON dumps the current snapshot — the payload behind /debug/flight
+// and `raxml -flight-out`. The snapshot is sorted by sequence number, so
+// for quiesced state the output is deterministic up to timestamps.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	d := flightDump{Capacity: f.Capacity(), Recorded: f.Recorded(), Events: f.Snapshot()}
+	if d.Events == nil {
+		d.Events = []FlightEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&d)
+}
+
+// ValidateFlight checks that r holds a well-formed flight dump: parseable
+// JSON, a sane recorded/capacity pair, and events in strictly increasing
+// sequence order with non-empty kinds and non-negative timestamps. It
+// returns the number of events validated — the schema gate the CI obs-gate
+// job runs on chaos-produced dumps.
+func ValidateFlight(r io.Reader) (int, error) {
+	var d flightDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return 0, fmt.Errorf("obs: flight dump is not valid JSON: %w", err)
+	}
+	if d.Capacity < 1 {
+		return 0, fmt.Errorf("obs: flight dump capacity %d", d.Capacity)
+	}
+	if d.Events == nil {
+		return 0, fmt.Errorf("obs: flight dump has no events array")
+	}
+	if uint64(len(d.Events)) > d.Recorded {
+		return 0, fmt.Errorf("obs: flight dump holds %d events but records only %d", len(d.Events), d.Recorded)
+	}
+	var prev uint64
+	for i, ev := range d.Events {
+		if ev.Kind == "" {
+			return 0, fmt.Errorf("obs: flight event %d: missing kind", i)
+		}
+		if ev.Seq == 0 {
+			return 0, fmt.Errorf("obs: flight event %d (%s): missing seq", i, ev.Kind)
+		}
+		if i > 0 && ev.Seq <= prev {
+			return 0, fmt.Errorf("obs: flight event %d (%s): seq %d not after %d", i, ev.Kind, ev.Seq, prev)
+		}
+		if ev.AtMs < 0 {
+			return 0, fmt.Errorf("obs: flight event %d (%s): negative timestamp", i, ev.Kind)
+		}
+		prev = ev.Seq
+	}
+	return len(d.Events), nil
+}

@@ -1,0 +1,117 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"raxmlcell/internal/obs"
+)
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := obs.NewFlightRecorder(8, stepClock(time.Millisecond))
+	for i := 0; i < 20; i++ {
+		f.Record("attempt", "inference#0", i, 0, "")
+	}
+	if f.Recorded() != 20 {
+		t.Fatalf("Recorded = %d, want 20", f.Recorded())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot holds %d events, want the ring's 8", len(snap))
+	}
+	// The ring keeps the most recent window: seqs 13..20, ascending.
+	for i, ev := range snap {
+		if want := uint64(13 + i); ev.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := obs.NewFlightRecorder(64, stepClock(time.Microsecond))
+	var wg sync.WaitGroup
+	const writers, each = 8, 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				f.Record("attempt", "inference#0", i, w, "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Recorded() != writers*each {
+		t.Fatalf("Recorded = %d, want %d", f.Recorded(), writers*each)
+	}
+	snap := f.Snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("snapshot holds %d events, want 64", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq <= snap[i-1].Seq {
+			t.Fatalf("snapshot out of order at %d: %d after %d", i, snap[i].Seq, snap[i-1].Seq)
+		}
+	}
+}
+
+func TestFlightWriteJSONValidates(t *testing.T) {
+	f := obs.NewFlightRecorder(16, stepClock(time.Millisecond))
+	f.Record("campaign.start", "", 0, -1, "jobs=2 workers=1")
+	f.Record("attempt", "inference#0", 1, 0, "")
+	f.Record("quarantine", "inference#0", 2, 0, "crash")
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := obs.ValidateFlight(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ValidateFlight: %v\n%s", err, buf.Bytes())
+	}
+	if n != 3 {
+		t.Fatalf("validated %d events, want 3", n)
+	}
+	if !strings.Contains(buf.String(), `"kind": "quarantine"`) {
+		t.Fatalf("dump missing quarantine event:\n%s", buf.String())
+	}
+}
+
+func TestFlightWriteJSONEmpty(t *testing.T) {
+	f := obs.NewFlightRecorder(4, nil)
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := obs.ValidateFlight(&buf); err != nil || n != 0 {
+		t.Fatalf("empty dump: %d events, err %v", n, err)
+	}
+}
+
+func TestValidateFlightRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{"capacity": 4,`,
+		"no capacity":    `{"capacity": 0, "recorded": 0, "events": []}`,
+		"missing events": `{"capacity": 4, "recorded": 0}`,
+		"overfull":       `{"capacity": 4, "recorded": 1, "events": [{"seq":1,"kind":"a","worker":0},{"seq":2,"kind":"b","worker":0}]}`,
+		"empty kind":     `{"capacity": 4, "recorded": 1, "events": [{"seq":1,"kind":"","worker":0}]}`,
+		"zero seq":       `{"capacity": 4, "recorded": 1, "events": [{"seq":0,"kind":"a","worker":0}]}`,
+		"seq regression": `{"capacity": 4, "recorded": 2, "events": [{"seq":2,"kind":"a","worker":0},{"seq":1,"kind":"b","worker":0}]}`,
+		"negative stamp": `{"capacity": 4, "recorded": 1, "events": [{"seq":1,"at_ms":-1,"kind":"a","worker":0}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := obs.ValidateFlight(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *obs.FlightRecorder
+	f.Record("x", "", 0, 0, "") // must not panic
+	if f.Recorded() != 0 || f.Capacity() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil recorder is not inert")
+	}
+}

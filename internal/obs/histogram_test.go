@@ -1,0 +1,124 @@
+package obs_test
+
+import (
+	"sync"
+	"testing"
+
+	"raxmlcell/internal/obs"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 11, 1e6} {
+		h.Observe(v)
+	}
+	hv := reg.Snapshot().Histograms[0]
+	if hv.Count != 6 {
+		t.Fatalf("count %d, want 6", hv.Count)
+	}
+	// Bounds are inclusive upper limits: 0.5 and 1 land in the first
+	// bucket, 1.5 and 10 in the second, 11 in the third, 1e6 overflows.
+	if want := []uint64{2, 2, 1, 1}; len(hv.Counts) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(hv.Counts), len(want))
+	} else {
+		for i, w := range want {
+			if hv.Counts[i] != w {
+				t.Errorf("bucket[%d] = %d, want %d", i, hv.Counts[i], w)
+			}
+		}
+	}
+	if hv.Sum < 1e6 {
+		t.Fatalf("sum %v, want >= 1e6", hv.Sum)
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshotRace drives concurrent Observe
+// writers against a concurrent Snapshot reader; run under -race this
+// proves Observe is safe without a mutex and Snapshot never tears the
+// histogram's storage.
+func TestHistogramConcurrentObserveSnapshotRace(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("mw.attempt_ms", obs.MsBuckets)
+	const writers, each = 8, 2000
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(float64(i%1000) / 10)
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			hv := reg.Snapshot().Histograms[0]
+			var total uint64
+			for _, c := range hv.Counts {
+				total += c
+			}
+			// In-flight observations may skew count vs buckets slightly;
+			// neither may ever exceed the number of samples written.
+			if hv.Count > writers*each || total > writers*each {
+				t.Errorf("snapshot overshoot: count %d, buckets %d", hv.Count, total)
+				return
+			}
+		}
+	}()
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	hv := reg.Snapshot().Histograms[0]
+	if hv.Count != writers*each {
+		t.Fatalf("final count %d, want %d", hv.Count, writers*each)
+	}
+	var total uint64
+	for _, c := range hv.Counts {
+		total += c
+	}
+	if total != writers*each {
+		t.Fatalf("final bucket total %d, want %d", total, writers*each)
+	}
+}
+
+// TestKernelHists checks the observer adapter end to end: per-op
+// histograms registered under kernel.<backend>.<op>_ms and fed through
+// ObserveKernel without allocation.
+func TestKernelHists(t *testing.T) {
+	reg := obs.NewRegistry()
+	k := obs.NewKernelHists(reg, "batched")
+	k.ObserveKernel(0, 2500000) // OpNewview, 2.5ms as time.Duration
+	k.ObserveKernel(0, 500000)
+	k.ObserveKernel(2, 100000) // OpEvaluate
+
+	snap := reg.Snapshot()
+	byName := map[string]uint64{}
+	for _, hv := range snap.Histograms {
+		byName[hv.Name] = hv.Count
+	}
+	if byName["kernel.batched.newview_ms"] != 2 {
+		t.Fatalf("newview_ms count = %d, want 2 (%v)", byName["kernel.batched.newview_ms"], byName)
+	}
+	if byName["kernel.batched.evaluate_ms"] != 1 {
+		t.Fatalf("evaluate_ms count = %d, want 1", byName["kernel.batched.evaluate_ms"])
+	}
+	if byName["kernel.batched.makenewz_ms"] != 0 {
+		t.Fatalf("makenewz_ms count = %d, want 0", byName["kernel.batched.makenewz_ms"])
+	}
+	k.ObserveKernel(-1, 1) // out-of-range ops must be ignored, not panic
+	k.ObserveKernel(99, 1)
+}

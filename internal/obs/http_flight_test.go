@@ -1,0 +1,134 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"raxmlcell/internal/obs"
+)
+
+// getWith issues one GET with an optional Accept header and returns the
+// status, Content-Type and body.
+func getWith(t *testing.T, url, accept string) (int, string, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("mw.jobs_done").Add(2)
+	reg.Histogram("search.round_ms", obs.MsBuckets).Observe(1.5)
+	srv := httptest.NewServer(obs.NewDebugMux(reg))
+	defer srv.Close()
+
+	// Default: JSON.
+	_, ct, body := getWith(t, srv.URL+"/metrics", "")
+	if ct != "application/json; charset=utf-8" || body[0] != '{' {
+		t.Fatalf("default /metrics: Content-Type %q, body %q...", ct, body[:1])
+	}
+
+	// ?format=prom: exposition text, and it must self-validate.
+	_, ct, body = getWith(t, srv.URL+"/metrics?format=prom", "")
+	if ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("?format=prom Content-Type %q", ct)
+	}
+	if n, err := obs.ValidatePromFormat(bytes.NewReader(body)); err != nil || n == 0 {
+		t.Fatalf("?format=prom output invalid (%d samples): %v\n%s", n, err, body)
+	}
+
+	// A scraper-shaped Accept header selects prom; a JSON-preferring one
+	// keeps JSON; ?format=json overrides everything.
+	if _, ct, _ = getWith(t, srv.URL+"/metrics", "text/plain;version=0.0.4"); !contains(ct, "text/plain") {
+		t.Fatalf("Accept text/plain got %q", ct)
+	}
+	if _, ct, _ = getWith(t, srv.URL+"/metrics", "application/json, text/plain"); !contains(ct, "application/json") {
+		t.Fatalf("Accept json+text got %q", ct)
+	}
+	if _, ct, _ = getWith(t, srv.URL+"/metrics?format=json", "text/plain"); !contains(ct, "application/json") {
+		t.Fatalf("?format=json with text Accept got %q", ct)
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
+
+func TestDebugFlightEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := obs.NewFlightRecorder(16, stepClock(time.Millisecond))
+	f.Record("attempt", "inference#0", 1, 0, "")
+	f.Record("quarantine", "inference#0", 2, 0, "crash")
+
+	srv := httptest.NewServer(obs.NewDebugMux(reg, obs.WithFlight(f)))
+	defer srv.Close()
+
+	code, ct, body := getWith(t, srv.URL+"/debug/flight", "")
+	if code != http.StatusOK || ct != "application/json; charset=utf-8" {
+		t.Fatalf("/debug/flight: status %d, Content-Type %q", code, ct)
+	}
+	if n, err := obs.ValidateFlight(bytes.NewReader(body)); err != nil || n != 2 {
+		t.Fatalf("/debug/flight payload invalid (%d events): %v\n%s", n, err, body)
+	}
+
+	// Without WithFlight the endpoint must not exist.
+	bare := httptest.NewServer(obs.NewDebugMux(reg))
+	defer bare.Close()
+	if code, _, _ := getWith(t, bare.URL+"/debug/flight", ""); code != http.StatusNotFound {
+		t.Fatalf("/debug/flight without a recorder: status %d, want 404", code)
+	}
+}
+
+func TestStartDebugServerShutdown(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, addr, err := obs.StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("http://%s/metrics", addr)
+	if code, _, _ := getWith(t, url, ""); code != http.StatusOK {
+		t.Fatalf("live server: status %d", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("server still serving after Shutdown")
+	}
+}
+
+func TestStartDebugServerPortInUse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	if srv, _, err := obs.StartDebugServer(ln.Addr().String(), obs.NewRegistry()); err == nil {
+		srv.Close()
+		t.Fatal("StartDebugServer on an occupied port did not fail")
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"time"
+
+	"raxmlcell/internal/likelihood"
+)
+
+// MsBuckets is the shared latency bucket layout (milliseconds) of every
+// duration histogram in the pipeline — kernel calls, search rounds, job
+// attempts, checkpoint saves. The range runs from a microsecond (a cached
+// newview on a small alignment) to ten seconds (a full search round on a
+// large one), roughly 2.5x per step so adjacent buckets stay readable on a
+// log axis.
+var MsBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000,
+}
+
+// KernelHists adapts the likelihood package's KernelObserver seam onto
+// per-backend latency histograms: kernel.<backend>.newview_ms,
+// kernel.<backend>.makenewz_ms and kernel.<backend>.evaluate_ms. The
+// histogram handles are resolved once at construction and indexed by op, so
+// ObserveKernel is allocation- and lookup-free — it runs inside the hottest
+// loops in the system — and safe for concurrent use from every worker
+// context (Histogram.Observe is lock-free).
+type KernelHists struct {
+	hists [likelihood.NumKernelOps]*Histogram
+}
+
+var _ likelihood.KernelObserver = (*KernelHists)(nil)
+
+// NewKernelHists registers the three kernel latency histograms for the
+// named backend in reg and returns the observer to hang on
+// likelihood.Config.Observer.
+func NewKernelHists(reg *Registry, backend string) *KernelHists {
+	k := &KernelHists{}
+	for op := likelihood.KernelOp(0); op < likelihood.NumKernelOps; op++ {
+		k.hists[op] = reg.Histogram("kernel."+backend+"."+op.String()+"_ms", MsBuckets)
+	}
+	return k
+}
+
+// ObserveKernel records one kernel call's elapsed time.
+func (k *KernelHists) ObserveKernel(op likelihood.KernelOp, elapsed time.Duration) {
+	if op < 0 || op >= likelihood.NumKernelOps {
+		return
+	}
+	k.hists[op].Observe(float64(elapsed) / float64(time.Millisecond))
+}

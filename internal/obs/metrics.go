@@ -53,23 +53,32 @@ func (g *Gauge) Max(v float64) {
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram counts observations into fixed upper-bound buckets (a final
-// +Inf bucket is implicit), tracking the running count and sum.
+// +Inf bucket is implicit), tracking the running count and sum. Observe is
+// lock-free — bucket counts and the total are plain atomic increments and
+// the sum is a compare-and-swap float add — so hot paths (kernel timing,
+// span EndObserve) record samples without contending on a mutex or
+// allocating. Snapshot reads the fields individually; under concurrent
+// writers the (count, sum, buckets) triple may be skewed by in-flight
+// observations, which is the usual monitoring trade-off.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // ascending upper bounds
-	counts []uint64  // len(bounds)+1; last is the overflow bucket
-	sum    float64
-	n      uint64
+	bounds  []float64       // ascending upper bounds, immutable after creation
+	counts  []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	sumBits atomic.Uint64   // float64 bits of the running sum
+	n       atomic.Uint64
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.sum += v
-	h.n++
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		sum := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(sum)) {
+			break
+		}
+	}
+	h.n.Add(1)
 }
 
 // Registry is a named collection of metrics. Metric constructors are
@@ -125,7 +134,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if !ok {
 		h = &Histogram{
 			bounds: append([]float64(nil), bounds...),
-			counts: make([]uint64, len(bounds)+1),
+			counts: make([]atomic.Uint64, len(bounds)+1),
 		}
 		r.hists[name] = h
 	}
@@ -211,15 +220,17 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, name := range slices.Sorted(maps.Keys(r.hists)) {
 		h := r.hists[name]
-		h.mu.Lock()
+		counts := make([]uint64, len(h.counts))
+		for i := range h.counts {
+			counts[i] = h.counts[i].Load()
+		}
 		s.Histograms = append(s.Histograms, HistogramValue{
 			Name:   name,
-			Count:  h.n,
-			Sum:    h.sum,
+			Count:  h.n.Load(),
+			Sum:    math.Float64frombits(h.sumBits.Load()),
 			Bounds: append([]float64(nil), h.bounds...),
-			Counts: append([]uint64(nil), h.counts...),
+			Counts: counts,
 		})
-		h.mu.Unlock()
 	}
 	return s
 }

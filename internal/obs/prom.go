@@ -1,0 +1,462 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"maps"
+	"math"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry snapshot in the Prometheus text exposition
+// format (version 0.0.4) — the scrape surface behind /metrics?format=prom.
+// The registry's internal naming ("search.round_ms", labels rendered by
+// Key as name{k=v,...}) is mapped onto Prometheus conventions: dots and
+// other illegal characters become underscores, labels are re-rendered with
+// quoted escaped values, and histograms are expanded into cumulative
+// *_bucket series with le labels plus *_sum and *_count. Output order is
+// deterministic: series are grouped by sanitized metric name, groups sorted
+// by name, each group preceded by exactly one # TYPE line.
+//
+// Registry names that collide after sanitization merge into one group;
+// names must not collide *across* metric kinds (a counter and a gauge
+// sharing a name would emit duplicate TYPE lines, which ValidateProm
+// rejects — and Prometheus itself would reject on scrape).
+
+// promName sanitizes a metric name: every rune outside [a-zA-Z0-9_:] maps
+// to '_', and a leading digit is prefixed.
+func promName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabelName sanitizes a label name ([a-zA-Z0-9_], no leading digit).
+func promLabelName(s string) string {
+	n := promName(s)
+	return strings.ReplaceAll(n, ":", "_")
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFloat renders a float64 sample value, using the exposition format's
+// special tokens for non-finite values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// splitKey undoes the Key encoding: "name{k1=v1,k2=v2}" into the base name
+// and ordered label pairs. Names without braces carry no labels.
+func splitKey(raw string) (base string, labels [][2]string) {
+	open := strings.IndexByte(raw, '{')
+	if open < 0 || !strings.HasSuffix(raw, "}") {
+		return raw, nil
+	}
+	base = raw[:open]
+	for _, pair := range strings.Split(raw[open+1:len(raw)-1], ",") {
+		if pair == "" {
+			continue
+		}
+		if eq := strings.IndexByte(pair, '='); eq >= 0 {
+			labels = append(labels, [2]string{pair[:eq], pair[eq+1:]})
+		} else {
+			labels = append(labels, [2]string{pair, ""})
+		}
+	}
+	return base, labels
+}
+
+// promLabelSet renders label pairs (plus an optional extra pair, used for
+// le) as {k="v",...}; empty input renders as "".
+func promLabelSet(labels [][2]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelName(kv[0]))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(kv[1]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promGroup is one TYPE group being assembled: the sample lines of every
+// series sharing a sanitized base name.
+type promGroup struct {
+	kind  string
+	lines []string
+}
+
+// promGroups accumulates groups in deterministic (first-seen within sorted
+// snapshot, then name-sorted) order.
+type promGroups struct {
+	byName map[string]*promGroup
+	names  []string
+}
+
+func (g *promGroups) add(base, kind string, lines ...string) {
+	grp, ok := g.byName[base]
+	if !ok {
+		grp = &promGroup{kind: kind}
+		g.byName[base] = grp
+		g.names = append(g.names, base)
+	}
+	grp.lines = append(grp.lines, lines...)
+}
+
+// WriteProm renders a snapshot of the registry in the Prometheus text
+// exposition format.
+func (r *Registry) WriteProm(w io.Writer) error {
+	s := r.Snapshot()
+	g := &promGroups{byName: make(map[string]*promGroup)}
+
+	for _, c := range s.Counters {
+		base, labels := splitKey(c.Name)
+		name := promName(base)
+		g.add(name, "counter",
+			name+promLabelSet(labels, "", "")+" "+strconv.FormatUint(c.Value, 10))
+	}
+	for _, gv := range s.Gauges {
+		base, labels := splitKey(gv.Name)
+		name := promName(base)
+		g.add(name, "gauge",
+			name+promLabelSet(labels, "", "")+" "+promFloat(gv.Value))
+	}
+	for _, h := range s.Histograms {
+		base, labels := splitKey(h.Name)
+		name := promName(base)
+		var cum uint64
+		lines := make([]string, 0, len(h.Counts)+2)
+		for i, cnt := range h.Counts {
+			cum += cnt
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = promFloat(h.Bounds[i])
+			}
+			lines = append(lines,
+				name+"_bucket"+promLabelSet(labels, "le", le)+" "+strconv.FormatUint(cum, 10))
+		}
+		lines = append(lines,
+			name+"_sum"+promLabelSet(labels, "", "")+" "+promFloat(h.Sum),
+			name+"_count"+promLabelSet(labels, "", "")+" "+strconv.FormatUint(h.Count, 10))
+		g.add(name, "histogram", lines...)
+	}
+
+	sort.Strings(g.names)
+	bw := bufio.NewWriter(w)
+	for _, name := range g.names {
+		grp := g.byName[name]
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, grp.kind)
+		for _, line := range grp.lines {
+			bw.WriteString(line)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// promNameOK reports whether s is a legal exposition-format metric name.
+func promNameOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == ':':
+		case r >= 'a' && r <= 'z':
+		case r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromSample parses one sample line into (name, sorted label set
+// excluding le, le value or "", numeric value). It mirrors the grammar of
+// the text exposition format closely enough to catch malformed output:
+// name, optional {k="v",...} with escape sequences, a float value, and an
+// optional integer timestamp.
+func parsePromSample(line string) (name, labelKey, le string, value float64, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !promNameOK(name) {
+		return "", "", "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	var labels [][2]string
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return "", "", "", 0, fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) {
+				return "", "", "", 0, fmt.Errorf("label without '='")
+			}
+			key := line[i:j]
+			if !promNameOK(strings.ReplaceAll(key, ":", "_")) || strings.ContainsRune(key, ':') {
+				return "", "", "", 0, fmt.Errorf("bad label name %q", key)
+			}
+			j++ // past '='
+			if j >= len(line) || line[j] != '"' {
+				return "", "", "", 0, fmt.Errorf("label value for %q not quoted", key)
+			}
+			j++
+			var val strings.Builder
+			for {
+				if j >= len(line) {
+					return "", "", "", 0, fmt.Errorf("unterminated label value for %q", key)
+				}
+				if line[j] == '\\' {
+					if j+1 >= len(line) {
+						return "", "", "", 0, fmt.Errorf("dangling escape in label %q", key)
+					}
+					switch line[j+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", "", "", 0, fmt.Errorf("bad escape \\%c in label %q", line[j+1], key)
+					}
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					j++
+					break
+				}
+				val.WriteByte(line[j])
+				j++
+			}
+			if key == "le" {
+				le = val.String()
+			} else {
+				labels = append(labels, [2]string{key, val.String()})
+			}
+			if j < len(line) && line[j] == ',' {
+				j++
+			}
+			i = j
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", "", "", 0, fmt.Errorf("missing value separator")
+	}
+	rest := strings.TrimSpace(line[i+1:])
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", "", 0, fmt.Errorf("want 'value [timestamp]', got %q", rest)
+	}
+	value, err = parsePromFloat(fields[0])
+	if err != nil {
+		return "", "", "", 0, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", "", "", 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	sort.Slice(labels, func(a, b int) bool { return labels[a][0] < labels[b][0] })
+	var lk strings.Builder
+	for _, kv := range labels {
+		lk.WriteString(kv[0])
+		lk.WriteByte('=')
+		lk.WriteString(kv[1])
+		lk.WriteByte(';')
+	}
+	return name, lk.String(), le, value, nil
+}
+
+// parsePromFloat parses a sample value, accepting the format's special
+// +Inf/-Inf/NaN tokens.
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// promBucketSeries accumulates one histogram's bucket samples for the
+// coherence checks.
+type promBucketSeries struct {
+	les    []float64
+	counts []float64
+}
+
+// ValidatePromFormat checks that r holds well-formed Prometheus text
+// exposition output: every TYPE comment is unique and well formed, every
+// sample line parses under the format's grammar, and every histogram is
+// coherent — cumulative bucket counts non-decreasing over ascending le
+// bounds, a +Inf bucket present, and the _count series equal to it. It
+// returns the number of sample lines validated. This is the line-format
+// checker the CI obs-gate job runs against the /metrics?format=prom output.
+func ValidatePromFormat(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	types := map[string]string{}
+	buckets := map[string]*promBucketSeries{} // "<base>|<labelKey>" -> series
+	counts := map[string]float64{}            // histogram _count samples
+	samples := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return 0, fmt.Errorf("obs: prom line %d: malformed TYPE comment", lineNo)
+				}
+				name, kind := fields[2], fields[3]
+				if !promNameOK(name) {
+					return 0, fmt.Errorf("obs: prom line %d: bad TYPE metric name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return 0, fmt.Errorf("obs: prom line %d: unknown TYPE %q", lineNo, kind)
+				}
+				if _, dup := types[name]; dup {
+					return 0, fmt.Errorf("obs: prom line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = kind
+			}
+			continue
+		}
+		name, labelKey, le, value, err := parsePromSample(line)
+		if err != nil {
+			return 0, fmt.Errorf("obs: prom line %d: %v", lineNo, err)
+		}
+		samples++
+		if base, ok := strings.CutSuffix(name, "_bucket"); ok && le != "" {
+			lev, lerr := parsePromFloat(le)
+			if lerr != nil {
+				return 0, fmt.Errorf("obs: prom line %d: bad le %q", lineNo, le)
+			}
+			key := base + "|" + labelKey
+			bs := buckets[key]
+			if bs == nil {
+				bs = &promBucketSeries{}
+				buckets[key] = bs
+			}
+			bs.les = append(bs.les, lev)
+			bs.counts = append(bs.counts, value)
+		}
+		if base, ok := strings.CutSuffix(name, "_count"); ok {
+			counts[base+"|"+labelKey] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("obs: reading prom output: %w", err)
+	}
+	for _, key := range slices.Sorted(maps.Keys(buckets)) {
+		bs := buckets[key]
+		idx := make([]int, len(bs.les))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return bs.les[idx[a]] < bs.les[idx[b]] })
+		prev := math.Inf(-1)
+		prevCount := -1.0
+		hasInf := false
+		var infCount float64
+		for _, i := range idx {
+			if bs.les[i] <= prev {
+				return 0, fmt.Errorf("obs: histogram %s: duplicate le bound %v", key, bs.les[i])
+			}
+			if bs.counts[i] < prevCount {
+				return 0, fmt.Errorf("obs: histogram %s: bucket counts decrease at le=%v", key, bs.les[i])
+			}
+			prev, prevCount = bs.les[i], bs.counts[i]
+			if math.IsInf(bs.les[i], 1) {
+				hasInf = true
+				infCount = bs.counts[i]
+			}
+		}
+		if !hasInf {
+			return 0, fmt.Errorf("obs: histogram %s: missing +Inf bucket", key)
+		}
+		//lint:ignore floatcmp bucket counts are exact uint64 counters rendered as floats; any drift between _count and the +Inf bucket is a writer bug, not rounding
+		if total, ok := counts[key]; ok && total != infCount {
+			return 0, fmt.Errorf("obs: histogram %s: _count %v != +Inf bucket %v", key, total, infCount)
+		}
+	}
+	return samples, nil
+}

@@ -1,0 +1,148 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"raxmlcell/internal/obs"
+)
+
+func TestWritePromParsesAndDeterministic(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("mw.jobs_done").Add(7)
+	reg.Counter(obs.Key("mw.attempts", "job", "inference#0")).Add(3)
+	reg.Gauge("mw.best_logl").Set(-1234.5)
+	h := reg.Histogram("search.round_ms", obs.MsBuckets)
+	h.Observe(0.02)
+	h.Observe(3.5)
+	h.Observe(99999) // overflow bucket
+
+	var a, b bytes.Buffer
+	if err := reg.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two renders of identical state differ:\n%s\n---\n%s", a.Bytes(), b.Bytes())
+	}
+
+	n, err := obs.ValidatePromFormat(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatalf("ValidatePromFormat: %v\n%s", err, a.Bytes())
+	}
+	// 2 counter samples + 1 gauge + (len(MsBuckets)+1 buckets + sum + count).
+	if want := 2 + 1 + len(obs.MsBuckets) + 3; n != want {
+		t.Fatalf("validated %d samples, want %d\n%s", n, want, a.Bytes())
+	}
+
+	out := a.String()
+	for _, frag := range []string{
+		"# TYPE mw_jobs_done counter\n",
+		"mw_jobs_done 7\n",
+		`mw_attempts{job="inference#0"} 3`,
+		"# TYPE search_round_ms histogram\n",
+		`search_round_ms_bucket{le="+Inf"} 3`,
+		"search_round_ms_count 3\n",
+		"# TYPE mw_best_logl gauge\n",
+		"mw_best_logl -1234.5\n",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q\n%s", frag, out)
+		}
+	}
+	// Sanitized names only: the registry's dots must not leak.
+	if strings.Contains(out, "search.round") {
+		t.Fatalf("unsanitized name leaked into prom output:\n%s", out)
+	}
+}
+
+func TestWritePromHistogramCumulative(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("lat.ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.6, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`lat_ms_bucket{le="1"} 2`,
+		`lat_ms_bucket{le="10"} 3`,
+		`lat_ms_bucket{le="100"} 4`,
+		`lat_ms_bucket{le="+Inf"} 5`,
+		`lat_ms_sum 5056.1`,
+		`lat_ms_count 5`,
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(want)+1 { // +1 for the TYPE line
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want)+1, buf.String())
+	}
+	for i, w := range want {
+		if lines[i+1] != w {
+			t.Errorf("line %d = %q, want %q", i+1, lines[i+1], w)
+		}
+	}
+	if _, err := obs.ValidatePromFormat(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePromLabelEscaping(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(obs.Key("jobs", "detail", `quo"te\back`)).Inc()
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `jobs{detail="quo\"te\\back"} 1`) {
+		t.Fatalf("label not escaped:\n%s", buf.String())
+	}
+	if _, err := obs.ValidatePromFormat(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("escaped output rejected: %v", err)
+	}
+}
+
+func TestValidatePromFormatRejects(t *testing.T) {
+	cases := map[string]string{
+		"duplicate TYPE": "# TYPE a counter\na 1\n# TYPE a counter\na 2\n",
+		"bad name":       "# TYPE 1bad counter\n1bad 1\n",
+		"bad sample":     "# TYPE a counter\na one\n",
+		"unquoted label": "# TYPE a counter\na{x=y} 1\n",
+		"bucket counts decrease": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\n" +
+			"h_sum 1\nh_count 3\n",
+		"duplicate le bound": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\n" + `h_bucket{le="1"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\n" + "h_sum 1\nh_count 2\n",
+		"missing +Inf bucket": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\n" + "h_sum 1\nh_count 1\n",
+		"_count disagrees": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 2` + "\n" + "h_sum 1\nh_count 3\n",
+	}
+	for name, payload := range cases {
+		if _, err := obs.ValidatePromFormat(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, payload)
+		}
+	}
+}
+
+func TestValidatePromFormatAcceptsLabeledHistogram(t *testing.T) {
+	// Two label sets of the same histogram base are independent series; each
+	// must satisfy the coherence rules on its own.
+	payload := "# TYPE h histogram\n" +
+		`h_bucket{job="a",le="1"} 1` + "\n" + `h_bucket{job="a",le="+Inf"} 2` + "\n" +
+		`h_sum{job="a"} 1.5` + "\n" + `h_count{job="a"} 2` + "\n" +
+		`h_bucket{job="b",le="1"} 0` + "\n" + `h_bucket{job="b",le="+Inf"} 1` + "\n" +
+		`h_sum{job="b"} 9` + "\n" + `h_count{job="b"} 1` + "\n"
+	n, err := obs.ValidatePromFormat(strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("validated %d samples, want 8", n)
+	}
+}

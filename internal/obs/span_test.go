@@ -1,0 +1,169 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"raxmlcell/internal/obs"
+)
+
+// stepClock returns a deterministic monotonic source advancing step per
+// read — the test stand-in for wallclock.Monotonic.
+func stepClock(step time.Duration) func() time.Duration {
+	var n atomic.Int64
+	return func() time.Duration { return time.Duration(n.Add(1)) * step }
+}
+
+// buildTimeline drives one fixed sequence of spans, instants and counters
+// through a tracer — the shared script of the golden-determinism test.
+func buildTimeline(tr *obs.SpanTracer) {
+	root := tr.Root("campaign").WithTenant("t0")
+	csp := root.Start("campaign", "mw")
+	for w := 0; w < 2; w++ {
+		wctx := root.WithTrack("worker-" + string(rune('0'+w))).WithWorker(w)
+		jctx := wctx.WithJob("inference#0")
+		asp := jctx.Start("attempt", "mw")
+		rsp := jctx.WithRound(1).Start("round", "search")
+		jctx.Instant("quarantine", "mw")
+		jctx.Counter("logl", -1234.5)
+		rsp.End()
+		asp.End()
+	}
+	csp.End()
+}
+
+func TestSpanTracerGoldenDeterminism(t *testing.T) {
+	render := func() []byte {
+		tr := obs.NewSpanTracer(stepClock(time.Microsecond))
+		buildTimeline(tr)
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical timelines rendered differently:\n%s\n---\n%s", a, b)
+	}
+	n, err := obs.ValidateTrace(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("ValidateTrace: %v\n%s", err, a)
+	}
+	// 2 workers x (attempt span + round span + instant + counter) + the
+	// campaign span, plus two metadata events (name + sort index) for each
+	// of the three tracks.
+	if want := 2*4 + 1 + 3*2; n != want {
+		t.Fatalf("trace has %d events, want %d\n%s", n, want, a)
+	}
+	for _, frag := range []string{
+		`"job":"inference#0"`, `"worker":1`, `"round":1`, `"tenant":"t0"`,
+		`"name":"quarantine"`, `"thread_name"`,
+	} {
+		if !strings.Contains(string(a), frag) {
+			t.Errorf("trace missing %s\n%s", frag, a)
+		}
+	}
+}
+
+func TestSpanTracerConcurrent(t *testing.T) {
+	tr := obs.NewSpanTracer(stepClock(time.Microsecond))
+	root := tr.Root("main")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := root.WithTrack("worker").WithWorker(g)
+			for i := 0; i < 200; i++ {
+				sp := ctx.Start("attempt", "mw")
+				ctx.Instant("tick", "mw")
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 8*200*2 {
+		t.Fatalf("retained %d events, want %d", got, 8*200*2)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateTrace(&buf); err != nil {
+		t.Fatalf("ValidateTrace after concurrent recording: %v", err)
+	}
+}
+
+func TestSpanTracerCapAndDrops(t *testing.T) {
+	tr := obs.NewSpanTracer(stepClock(time.Microsecond))
+	tr.SetMaxEvents(4)
+	ctx := tr.Root("main")
+	for i := 0; i < 10; i++ {
+		ctx.Instant("tick", "t")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// 4 retained instants + 2 metadata events for the single track.
+	if n, err := obs.ValidateTrace(&buf); err != nil || n != 6 {
+		t.Fatalf("capped trace: %d events, err %v", n, err)
+	}
+}
+
+func TestSpanTracerNonRecordingStillObserves(t *testing.T) {
+	tr := obs.NewSpanTracer(stepClock(time.Microsecond))
+	tr.SetRecording(false)
+	reg := obs.NewRegistry()
+	h := reg.Histogram("mw.attempt_ms", obs.MsBuckets)
+
+	sp := tr.Root("main").Start("attempt", "mw")
+	sp.EndObserve(h)
+	if tr.Len() != 0 {
+		t.Fatalf("non-recording tracer retained %d events", tr.Len())
+	}
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 1 {
+		t.Fatalf("EndObserve did not feed the histogram: %+v", snap.Histograms)
+	}
+	if snap.Histograms[0].Sum <= 0 {
+		t.Fatalf("histogram sum %v, want > 0", snap.Histograms[0].Sum)
+	}
+}
+
+func TestSpanTracerNilClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSpanTracer(nil) did not panic")
+		}
+	}()
+	obs.NewSpanTracer(nil)
+}
+
+func TestZeroCtxIsNoop(t *testing.T) {
+	var ctx obs.Ctx
+	if ctx.Enabled() {
+		t.Fatal("zero Ctx reports enabled")
+	}
+	if ctx.TimeSource() != nil {
+		t.Fatal("zero Ctx has a time source")
+	}
+	// None of these may panic.
+	ctx = ctx.WithTrack("x").WithJob("j").WithWorker(1).WithRound(2).WithTenant("t")
+	ctx.Instant("i", "c")
+	ctx.Counter("n", 1)
+	sp := ctx.Start("s", "c")
+	sp.End()
+	sp.EndObserve(nil)
+}

@@ -21,6 +21,10 @@ import (
 // but the shape, ordering and proportions are exact). A Tracer is not safe
 // for concurrent use; the simulation engine resumes one process at a time,
 // so all simulator events arrive from a single goroutine.
+//
+// Its wall-clock sibling is SpanTracer (span.go), which records the same
+// event shapes against an injected monotonic clock and shares this file's
+// byte-deterministic encoder.
 type Tracer struct {
 	events []traceEvent
 	tids   map[string]int
@@ -35,15 +39,20 @@ const (
 	phaseCounter  = 'C' // sampled numeric series
 )
 
+// traceEvent is the shared in-memory event of both tracers. Timestamps are
+// raw int64 "ts" units: simulated cycles for Tracer, wall microseconds for
+// SpanTracer. args, when non-empty, is a pre-rendered JSON object emitted
+// verbatim as the event's "args" field (the SpanTracer attribution labels).
 type traceEvent struct {
-	ts   sim.Time
-	dur  sim.Time
-	seq  uint64 // insertion order, the tie-breaker among same-cycle events
+	ts   int64
+	dur  int64
+	seq  uint64 // insertion order, the tie-breaker among same-ts events
 	tid  int
 	ph   byte
 	name string
 	cat  string
 	val  float64 // counter value (phaseCounter only)
+	args string
 }
 
 // NewTracer returns an empty tracer.
@@ -67,7 +76,7 @@ func (t *Tracer) tid(track string) int {
 func (t *Tracer) Instant(track, name, cat string, at sim.Time) {
 	t.seq++
 	t.events = append(t.events, traceEvent{
-		ts: at, seq: t.seq, tid: t.tid(track), ph: phaseInstant, name: name, cat: cat,
+		ts: int64(at), seq: t.seq, tid: t.tid(track), ph: phaseInstant, name: name, cat: cat,
 	})
 }
 
@@ -79,7 +88,7 @@ func (t *Tracer) Span(track, name, cat string, from, to sim.Time) {
 	}
 	t.seq++
 	t.events = append(t.events, traceEvent{
-		ts: from, dur: to - from, seq: t.seq, tid: t.tid(track), ph: phaseComplete, name: name, cat: cat,
+		ts: int64(from), dur: int64(to - from), seq: t.seq, tid: t.tid(track), ph: phaseComplete, name: name, cat: cat,
 	})
 }
 
@@ -87,7 +96,7 @@ func (t *Tracer) Span(track, name, cat string, from, to sim.Time) {
 func (t *Tracer) Counter(track, name string, at sim.Time, value float64) {
 	t.seq++
 	t.events = append(t.events, traceEvent{
-		ts: at, seq: t.seq, tid: t.tid(track), ph: phaseCounter, name: name, val: value,
+		ts: int64(at), seq: t.seq, tid: t.tid(track), ph: phaseCounter, name: name, val: value,
 	})
 }
 
@@ -102,12 +111,19 @@ func (t *Tracer) Reset() {
 	t.seq = 0
 }
 
-// WriteJSON emits the recorded timeline as a Chrome trace-event file:
+// WriteJSON emits the recorded timeline as a Chrome trace-event file; see
+// writeTraceJSON for the encoding contract.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	return writeTraceJSON(w, t.tracks, t.events)
+}
+
+// writeTraceJSON emits a timeline as a Chrome trace-event file:
 // thread-name metadata first, then every event sorted by (ts, insertion
 // order). The encoding is hand-rolled with a fixed field order, so the
 // output is byte-deterministic — the property the golden determinism tests
-// pin down.
-func (t *Tracer) WriteJSON(w io.Writer) error {
+// pin down. Both Tracer (sim time) and SpanTracer (wall time) funnel
+// through here.
+func writeTraceJSON(w io.Writer, tracks []string, events []traceEvent) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
 		return err
@@ -120,7 +136,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		first = false
 		bw.WriteString("\n")
 	}
-	for tid, track := range t.tracks {
+	for tid, track := range tracks {
 		comma()
 		fmt.Fprintf(bw, `{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%s}}`,
 			tid, quoteJSON(track))
@@ -128,7 +144,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		fmt.Fprintf(bw, `{"name":"thread_sort_index","ph":"M","pid":0,"tid":%d,"args":{"sort_index":%d}}`,
 			tid, tid)
 	}
-	sorted := append([]traceEvent(nil), t.events...)
+	sorted := append([]traceEvent(nil), events...)
 	sort.SliceStable(sorted, func(i, j int) bool {
 		if sorted[i].ts != sorted[j].ts {
 			return sorted[i].ts < sorted[j].ts
@@ -139,11 +155,19 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		comma()
 		switch ev.ph {
 		case phaseComplete:
-			fmt.Fprintf(bw, `{"name":%s,"cat":%s,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d}`,
+			fmt.Fprintf(bw, `{"name":%s,"cat":%s,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d`,
 				quoteJSON(ev.name), quoteJSON(ev.cat), ev.ts, ev.dur, ev.tid)
+			if ev.args != "" {
+				fmt.Fprintf(bw, `,"args":%s`, ev.args)
+			}
+			bw.WriteByte('}')
 		case phaseInstant:
-			fmt.Fprintf(bw, `{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}`,
+			fmt.Fprintf(bw, `{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%d,"pid":0,"tid":%d`,
 				quoteJSON(ev.name), quoteJSON(ev.cat), ev.ts, ev.tid)
+			if ev.args != "" {
+				fmt.Fprintf(bw, `,"args":%s`, ev.args)
+			}
+			bw.WriteByte('}')
 		case phaseCounter:
 			fmt.Fprintf(bw, `{"name":%s,"ph":"C","ts":%d,"pid":0,"tid":%d,"args":{"value":%s}}`,
 				quoteJSON(ev.name), ev.ts, ev.tid,

@@ -1,0 +1,132 @@
+package search
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/obs"
+)
+
+// obsClock is a deterministic monotonic source for the wall-clock tracer —
+// each read advances one microsecond, so span durations are positive and
+// reproducible without touching time.Now.
+func obsClock() func() time.Duration {
+	var n atomic.Int64
+	return func() time.Duration { return time.Duration(n.Add(1)) * time.Microsecond }
+}
+
+// TestRunRoundSpansAndHistogram pins the search-layer instrumentation
+// contract: with a Trace context and a Metrics registry, every SPR round
+// feeds exactly one search.round_ms sample, the timeline carries one
+// round-labelled "round" span per round plus candidate-batch spans, and
+// the rendered trace passes ValidateTrace.
+func TestRunRoundSpansAndHistogram(t *testing.T) {
+	pat, _, m := simulated(t, 17, 9, 300)
+	eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	start, err := StartingTree(pat, "random", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewSpanTracer(obsClock())
+	opts := DefaultOptions()
+	opts.Metrics = reg
+	opts.Trace = tracer.Root("search").WithJob("inference#0")
+	res, err := Run(eng, start, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	var roundHist *obs.HistogramValue
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "search.round_ms" {
+			roundHist = &snap.Histograms[i]
+		}
+	}
+	if roundHist == nil {
+		t.Fatal("search.round_ms histogram missing from snapshot")
+	}
+	if roundHist.Count != uint64(res.Rounds) {
+		t.Fatalf("search.round_ms count = %d, result ran %d rounds", roundHist.Count, res.Rounds)
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ValidateTrace: %v", err)
+	}
+	trace := buf.String()
+	for round := 1; round <= res.Rounds; round++ {
+		frag := `"round":` + itoa(round)
+		if !strings.Contains(trace, frag) {
+			t.Errorf("trace lacks a span labelled with %s", frag)
+		}
+	}
+	for _, frag := range []string{
+		`"name":"round"`, `"name":"smooth"`, `"name":"candidates"`,
+		`"job":"inference#0"`,
+	} {
+		if !strings.Contains(trace, frag) {
+			t.Errorf("trace missing %s", frag)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n <= 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestRunInstrumentationNeutral guards determinism: wiring a tracer and a
+// registry into a search must not change its trajectory or result.
+func TestRunInstrumentationNeutral(t *testing.T) {
+	pat, _, m := simulated(t, 17, 9, 300)
+	build := func(instrumented bool) *Result {
+		eng, err := likelihood.NewEngine(pat, m, likelihood.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(17))
+		start, err := StartingTree(pat, "random", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		if instrumented {
+			opts.Metrics = obs.NewRegistry()
+			tracer := obs.NewSpanTracer(obsClock())
+			opts.Trace = tracer.Root("search")
+		}
+		res, err := Run(eng, start, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, traced := build(false), build(true)
+	if plain.LogL != traced.LogL || plain.Moves != traced.Moves || plain.Rounds != traced.Rounds {
+		t.Fatalf("instrumentation changed the search: %+v vs %+v", plain, traced)
+	}
+}

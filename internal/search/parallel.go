@@ -89,6 +89,12 @@ type searchCtx struct {
 	// do not count as parallel.
 	roundParallel bool
 
+	// traceRound is the current round's trace context (set by Run before
+	// each round, round-labeled); candidate-batch spans record through it.
+	// The zero Ctx before the first round — e.g. when scoreInsertions runs
+	// under OptimizeAlpha's NNI pass — is a valid no-op.
+	traceRound obs.Ctx
+
 	candidatesScored *obs.Counter
 	parallelRounds   *obs.Counter
 	sharedHits       *obs.Counter
@@ -100,7 +106,7 @@ type searchCtx struct {
 // with per-worker view tables when opt.Workers > 1 (also installed as the
 // engine's wavefront executor), and metric handles when opt.Metrics is set.
 func newSearchCtx(eng *likelihood.Engine, opt Options) *searchCtx {
-	sc := &searchCtx{}
+	sc := &searchCtx{traceRound: opt.Trace}
 	if opt.Metrics != nil {
 		sc.candidatesScored = opt.Metrics.Counter("search.candidates_scored")
 		sc.parallelRounds = opt.Metrics.Counter("search.parallel_rounds")
@@ -174,6 +180,8 @@ func (sc *searchCtx) scoreInsertions(eng *likelihood.Engine, cands []*phylotree.
 	if sc.candidatesScored != nil {
 		sc.candidatesScored.Add(uint64(len(cands)))
 	}
+	csp := sc.traceRound.Start("candidates", "search")
+	defer csp.End()
 	if cap(sc.scores) < len(cands) {
 		sc.scores = make([]candScore, len(cands))
 	}

@@ -56,9 +56,16 @@ type Options struct {
 	// Metrics, when non-nil, receives the live search series: the
 	// search.candidates_scored / search.parallel_rounds counters, the
 	// search.pool_workers / search.pool_busy / search.pool_busy_peak
-	// occupancy gauges, and — with the shared vector store on — the
-	// cache.shared_hits counter and cache.epoch gauge.
+	// occupancy gauges, the search.round_ms latency histogram, and — with
+	// the shared vector store on — the cache.shared_hits counter and
+	// cache.epoch gauge.
 	Metrics *obs.Registry
+
+	// Trace is the wall-clock span context this search records into
+	// (smoothing passes, alpha refits, SPR rounds, candidate batches),
+	// usually pre-labeled with the job by the mw layer. The zero Ctx
+	// disables tracing.
+	Trace obs.Ctx
 }
 
 // DefaultOptions mirrors the paper's search regime at small scale.
@@ -192,13 +199,23 @@ func Run(eng *likelihood.Engine, start *phylotree.Tree, opt Options) (*Result, e
 	sc := newSearchCtx(eng, opt)
 	defer sc.close(eng)
 
+	tctx := opt.Trace
+	var roundHist *obs.Histogram
+	if opt.Metrics != nil {
+		roundHist = opt.Metrics.Histogram("search.round_ms", obs.MsBuckets)
+	}
+
+	ssp := tctx.Start("smooth", "search")
 	ll, err := SmoothBranches(eng, start, opt.SmoothPasses, opt.Epsilon)
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
 	alpha := eng.Mod.Alpha
 	if opt.AlphaOpt {
+		asp := tctx.Start("alpha-opt", "search")
 		alpha, ll, err = OptimizeAlpha(eng, start, 0.02, 50, 1e-2)
+		asp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -211,22 +228,33 @@ func Run(eng *likelihood.Engine, start *phylotree.Tree, opt Options) (*Result, e
 	res := &Result{Tree: start, Alpha: alpha}
 	for round := 0; round < opt.MaxRounds; round++ {
 		res.Rounds = round + 1
+		// The round's events — including the candidate-batch spans recorded
+		// inside scoreInsertions — carry the round label; the round span
+		// itself covers SPR + smoothing + alpha refit and feeds the
+		// search.round_ms histogram.
+		rctx := tctx.WithRound(round + 1)
+		sc.traceRound = rctx
+		rsp := rctx.Start("round", "search")
 		newLL, moves, err := sprRound(eng, start, sc, opt.Radius, ll, opt.Epsilon)
 		if err != nil {
+			rsp.End()
 			return nil, err
 		}
 		res.Moves += moves
 		newLL, err = SmoothBranches(eng, start, opt.SmoothPasses, opt.Epsilon)
 		if err != nil {
+			rsp.End()
 			return nil, err
 		}
 		if opt.AlphaOpt && moves > 0 {
 			alpha, newLL, err = OptimizeAlpha(eng, start, 0.02, 50, 1e-2)
 			if err != nil {
+				rsp.End()
 				return nil, err
 			}
 			res.Alpha = alpha
 		}
+		rsp.EndObserve(roundHist)
 		if opt.OnProgress != nil {
 			opt.OnProgress(Progress{Phase: "round", Round: round + 1, Moves: res.Moves, LogL: newLL, Alpha: alpha})
 		}

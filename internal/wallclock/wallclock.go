@@ -23,3 +23,16 @@ func (Clock) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
 // Sleep blocks for d of real time.
 func (Clock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Monotonic returns a monotonic elapsed-time source anchored at the moment
+// of the call: each invocation of the returned function reports the real
+// time elapsed since Monotonic() itself ran. This is the injection seam for
+// the wall-clock observability layer (obs.SpanTracer, latency histograms):
+// internal/obs and internal/mw are barred from time.Now by the
+// simdeterminism analyzer, so production entry points (cmd/raxml,
+// internal/core) mint the time source here and tests substitute
+// deterministic counters.
+func Monotonic() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
