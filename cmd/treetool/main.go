@@ -1,11 +1,14 @@
 // Command treetool is the tree-manipulation utility of the suite: compare
 // trees (Robinson-Foulds and branch-score distances), build majority-rule
-// consensus trees from a set of replicates, and render trees as ASCII.
+// consensus trees from a set of replicates, encode topologies (phylo2vec
+// vector plus canonical hash), and render trees as ASCII.
 //
 // Usage:
 //
 //	treetool rf a.nwk b.nwk
 //	treetool consensus -threshold 0.5 trees.nex
+//	treetool encode trees.nwk
+//	treetool hash -check a.nwk b.nwk
 //	treetool draw best.nwk
 //
 // Tree files may be plain Newick (one tree per line) or NEXUS TREES blocks.
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"raxmlcell/internal/phylotree"
@@ -32,6 +36,10 @@ func main() {
 		cmdRF(os.Args[2:])
 	case "consensus":
 		cmdConsensus(os.Args[2:])
+	case "encode":
+		cmdEncode(os.Args[2:])
+	case "hash":
+		cmdHash(os.Args[2:])
 	case "draw":
 		cmdDraw(os.Args[2:])
 	default:
@@ -40,7 +48,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: treetool rf <a> <b> | consensus [-threshold 0.5] <trees> | draw <tree>")
+	fmt.Fprintln(os.Stderr, "usage: treetool rf <a> <b> | consensus [-threshold 0.5] <trees> | encode <trees> | hash [-check <a> <b>] <trees> | draw <tree>")
 	os.Exit(2)
 }
 
@@ -126,6 +134,101 @@ func cmdConsensus(args []string) {
 	}
 	fmt.Printf("%d trees, %d majority clades\n", len(trees), cons.CountClades())
 	fmt.Println(cons.Newick())
+}
+
+// canonicalize relabels the tree to its lexicographically sorted taxon
+// order, so vectors and hashes from different files (or differently ordered
+// renderings of one tree) are directly comparable.
+func canonicalize(tr *phylotree.Tree) error {
+	taxa := append([]string(nil), tr.Taxa...)
+	sort.Strings(taxa)
+	return tr.AlignTaxa(taxa)
+}
+
+func cmdEncode(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	named, err := readTrees(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nt := range named {
+		if err := canonicalize(nt.Tree); err != nil {
+			log.Fatalf("tree %s: %v", nt.Name, err)
+		}
+		v, err := nt.Tree.Phylo2Vec()
+		if err != nil {
+			log.Fatalf("tree %s: %v", nt.Name, err)
+		}
+		h, err := phylotree.NewTopoHasher(nt.Tree.NumTips()).TreeHash(nt.Tree)
+		if err != nil {
+			log.Fatalf("tree %s: %v", nt.Name, err)
+		}
+		parts := make([]string, len(v))
+		for i, x := range v {
+			parts[i] = fmt.Sprint(x)
+		}
+		fmt.Printf("%s\t%s\tv=[%s]\n", nt.Name, h, strings.Join(parts, " "))
+	}
+}
+
+func cmdHash(args []string) {
+	fs := flag.NewFlagSet("hash", flag.ExitOnError)
+	check := fs.Bool("check", false, "compare the first tree of two files; exit 1 when the topologies differ")
+	fs.Parse(args)
+	if *check {
+		if fs.NArg() != 2 {
+			usage()
+		}
+		ta, err := readTrees(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb, err := readTrees(fs.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, b := ta[0].Tree, tb[0].Tree
+		if err := canonicalize(a); err != nil {
+			log.Fatal(err)
+		}
+		if err := b.AlignTaxa(a.Taxa); err != nil {
+			log.Fatal(err)
+		}
+		hasher := phylotree.NewTopoHasher(a.NumTips())
+		ha, err := hasher.TreeHash(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hb, err := hasher.TreeHash(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ha != hb {
+			fmt.Printf("differ: %s != %s\n", ha, hb)
+			os.Exit(1)
+		}
+		fmt.Printf("identical: %s\n", ha)
+		return
+	}
+	if fs.NArg() != 1 {
+		usage()
+	}
+	named, err := readTrees(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nt := range named {
+		if err := canonicalize(nt.Tree); err != nil {
+			log.Fatalf("tree %s: %v", nt.Name, err)
+		}
+		h, err := phylotree.NewTopoHasher(nt.Tree.NumTips()).TreeHash(nt.Tree)
+		if err != nil {
+			log.Fatalf("tree %s: %v", nt.Name, err)
+		}
+		fmt.Printf("%s\t%s\n", nt.Name, h)
+	}
 }
 
 func cmdDraw(args []string) {

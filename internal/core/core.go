@@ -291,15 +291,32 @@ func Analyze(pat *alignment.Patterns, cfg Config) (*Analysis, error) {
 			}
 			boots = append(boots, bt)
 		}
-		if len(boots) > 0 {
-			support, err := phylotree.SupportValues(bestTree, boots)
+		// Replicates that resolved to the same unrooted topology collapse to
+		// one representative with a multiplicity before the bipartition
+		// passes: the weighted support/consensus reproduce the expanded
+		// answer exactly, and on well-resolved datasets (where many
+		// replicates agree) the O(replicates x bipartitions) counting work
+		// shrinks accordingly. bootstrap.dedup_topologies counts the
+		// replicates that were folded into an earlier duplicate.
+		uniq, weights, err := phylotree.DedupTopologies(boots)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.Counter("bootstrap.dedup_topologies").Add(uint64(len(boots) - len(uniq)))
+		}
+		if len(boots) != len(uniq) {
+			cfg.Log.Debug("bootstrap dedup", "replicates", len(boots), "distinct", len(uniq))
+		}
+		if len(uniq) > 0 {
+			support, err := phylotree.SupportValuesWeighted(bestTree, uniq, weights)
 			if err != nil {
 				return nil, err
 			}
 			a.Support = support
 		}
 		if len(boots) >= 2 {
-			cons, err := phylotree.MajorityRuleConsensus(boots, 0.5)
+			cons, err := phylotree.MajorityRuleConsensusWeighted(uniq, weights, 0.5)
 			if err != nil {
 				return nil, err
 			}

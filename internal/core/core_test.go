@@ -7,6 +7,7 @@ import (
 
 	"raxmlcell/internal/alignment"
 	"raxmlcell/internal/cellrt"
+	"raxmlcell/internal/obs"
 	"raxmlcell/internal/phylotree"
 	"raxmlcell/internal/search"
 	"raxmlcell/internal/seqsim"
@@ -36,9 +37,21 @@ func fastConfig() Config {
 
 func TestAnalyzeEndToEnd(t *testing.T) {
 	pat, truth := testPatterns(t, 10, 600, 7)
-	a, err := Analyze(pat, fastConfig())
+	cfg := fastConfig()
+	cfg.Metrics = obs.NewRegistry()
+	a, err := Analyze(pat, cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Bootstrap replicates were deduplicated before support/consensus; the
+	// counter reports how many were folded into an earlier duplicate (0 is
+	// fine on low-agreement data, absence is not).
+	snap := cfg.Metrics.Snapshot()
+	dedup, ok := snap.CounterValue("bootstrap.dedup_topologies")
+	if !ok {
+		t.Error("bootstrap.dedup_topologies counter missing")
+	} else if dedup > 5 {
+		t.Errorf("deduplicated %d of 5 replicates", dedup)
 	}
 	if a.Best == nil || a.BestLogL >= 0 {
 		t.Fatalf("bad best tree: logL=%v", a.BestLogL)

@@ -36,9 +36,16 @@ import (
 // is that instrumentation must be free — so internal/obs is in scope and
 // the fragments include observe/record/span.
 //
+// The topology-memo probe path joined the same loops: every SPR/NNI
+// candidate is hashed (TopoHasher edge terms, PruneScope.CandidateHash)
+// and probed against the memo before — or instead of — being scored, so
+// an allocation in the hashing or probing helpers taxes every candidate
+// whether or not the memo hits. internal/phylotree is in scope and the
+// fragments include memo/hash/probe.
+//
 // Inside functions whose name contains combine/newview/makenewz/evaluate/
-// fastexp/spr/nni/insertion/tile/sumtable/newton/observe/record/span
-// (case-insensitive), the analyzer reports:
+// fastexp/spr/nni/insertion/tile/sumtable/newton/observe/record/span/
+// memo/hash/probe (case-insensitive), the analyzer reports:
 //
 //   - make(), append(), new() and slice/map composite literals inside any
 //     loop — preallocate scratch buffers on the Engine (kernels) or the
@@ -52,12 +59,12 @@ var HotPathAlloc = &Analyzer{
 	Name: "hotpathalloc",
 	Doc:  "report per-pattern-loop allocations and raw math.Exp in the likelihood kernels, search rounds and obs hot-path helpers",
 	Match: func(pkgPath string) bool {
-		return pathHasAny(pkgPath, "internal/likelihood", "internal/search", "internal/obs")
+		return pathHasAny(pkgPath, "internal/likelihood", "internal/search", "internal/obs", "internal/phylotree")
 	},
 	Run: runHotPathAlloc,
 }
 
-var hotFuncFragments = []string{"combine", "newview", "makenewz", "evaluate", "fastexp", "spr", "nni", "insertion", "tile", "sumtable", "newton", "observe", "record", "span"}
+var hotFuncFragments = []string{"combine", "newview", "makenewz", "evaluate", "fastexp", "spr", "nni", "insertion", "tile", "sumtable", "newton", "observe", "record", "span", "memo", "hash", "probe"}
 
 func isHotFuncName(name string) bool {
 	lower := strings.ToLower(name)

@@ -1,0 +1,61 @@
+// Golden input for the memo-widened hotpathalloc scope: this file pretends
+// to live in raxmlcell/internal/phylotree. Functions whose names contain
+// memo/hash/probe are the topology-memo probe path — they run once per
+// SPR/NNI candidate, before (or instead of) the likelihood evaluation, so
+// per-candidate allocations tax every candidate whether or not the memo
+// hits. Scratch belongs on the hasher/scope struct, sized once.
+package phylotree
+
+import "fmt"
+
+type topoHash [2]uint64
+
+type hasher struct {
+	keys []topoHash
+	acc  []topoHash
+}
+
+func (h *hasher) treeHashEdges(edges int) topoHash {
+	var sum topoHash
+	for e := 0; e < edges; e++ {
+		term := make([]uint64, 2)     // want `make allocates inside a per-pattern loop`
+		parts := []uint64{1, 2}       // want `slice/map literal allocates inside a per-pattern loop`
+		_ = fmt.Sprintf("edge %d", e) // want `fmt.Sprintf inside a per-pattern loop`
+		sum[0] += term[0] + parts[0]
+		sum[1] += h.keys[e%len(h.keys)][1]
+	}
+	return sum
+}
+
+func (h *hasher) probeCandidates(n int) int {
+	hits := 0
+	lookup := func(i int) bool {
+		seen := make(map[topoHash]bool, 1) // want `make allocates inside a per-iteration closure`
+		return seen[h.acc[i%len(h.acc)]]
+	}
+	for i := 0; i < n; i++ {
+		if lookup(i) {
+			hits++
+		}
+	}
+	return hits
+}
+
+func (h *hasher) candidateHashPrealloc(at int) topoHash {
+	// The sanctioned idiom: the accumulator table was sized at Reset time,
+	// the per-candidate hash is pure arithmetic on it — nothing to report.
+	base := h.acc[at%len(h.acc)]
+	base[0] += h.keys[at%len(h.keys)][0]
+	base[1] += h.keys[at%len(h.keys)][1]
+	return base
+}
+
+// buildTaxaIndex is outside the hot set (no memo/hash/probe fragment):
+// the same allocation patterns are allowed.
+func buildTaxaIndex(n int) map[int]topoHash {
+	out := make(map[int]topoHash, n)
+	for i := 0; i < n; i++ {
+		out[i] = topoHash{uint64(i), uint64(i)}
+	}
+	return out
+}

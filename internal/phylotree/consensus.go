@@ -12,8 +12,21 @@ import (
 // clade structure (ConsensusNode) rather than a binary Tree, exactly like
 // the consensus output of phylogenetics packages.
 func MajorityRuleConsensus(trees []*Tree, threshold float64) (*ConsensusNode, error) {
+	return MajorityRuleConsensusWeighted(trees, nil, threshold)
+}
+
+// MajorityRuleConsensusWeighted is MajorityRuleConsensus over a deduplicated
+// tree set: tree i counts weights[i] times. Every count, the majority cutoff
+// and the reported supports are computed from the same integers the expanded
+// set would produce, so the consensus is identical to replicating each tree
+// to its multiplicity. A nil weights slice means all ones; weights must
+// otherwise match trees in length with every entry >= 1.
+func MajorityRuleConsensusWeighted(trees []*Tree, weights []int, threshold float64) (*ConsensusNode, error) {
 	if len(trees) == 0 {
 		return nil, fmt.Errorf("phylotree: no trees for consensus")
+	}
+	if weights != nil && len(weights) != len(trees) {
+		return nil, fmt.Errorf("phylotree: %d weights for %d trees", len(weights), len(trees))
 	}
 	if threshold < 0.5 || threshold >= 1 {
 		return nil, fmt.Errorf("phylotree: consensus threshold %g must be in [0.5, 1)", threshold)
@@ -21,7 +34,15 @@ func MajorityRuleConsensus(trees []*Tree, threshold float64) (*ConsensusNode, er
 	ref := trees[0]
 	n := len(ref.Tips)
 	counts := make(map[Bipartition]int)
+	total := 0
 	for i, t := range trees {
+		w := 1
+		if weights != nil {
+			if w = weights[i]; w < 1 {
+				return nil, fmt.Errorf("phylotree: tree %d has weight %d, want >= 1", i, w)
+			}
+		}
+		total += w
 		if len(t.Tips) != n {
 			return nil, fmt.Errorf("phylotree: tree %d has %d taxa, want %d", i, len(t.Tips), n)
 		}
@@ -31,7 +52,7 @@ func MajorityRuleConsensus(trees []*Tree, threshold float64) (*ConsensusNode, er
 			}
 		}
 		for b := range t.Bipartitions() {
-			counts[b]++
+			counts[b] += w
 		}
 	}
 
@@ -44,10 +65,10 @@ func MajorityRuleConsensus(trees []*Tree, threshold float64) (*ConsensusNode, er
 		support float64
 	}
 	var clades []clade
-	minCount := int(threshold*float64(len(trees))) + 1
+	minCount := int(threshold*float64(total)) + 1
 	//lint:ignore floatcmp 0.5 is exactly representable; this detects the strict-majority special case, not a computed value
-	if threshold == 0.5 && len(trees)%2 == 0 {
-		minCount = len(trees)/2 + 1
+	if threshold == 0.5 && total%2 == 0 {
+		minCount = total/2 + 1
 	}
 	for b, c := range counts {
 		if c < minCount {
@@ -57,7 +78,7 @@ func MajorityRuleConsensus(trees []*Tree, threshold float64) (*ConsensusNode, er
 		clades = append(clades, clade{
 			bits:    bits,
 			size:    popcount(bits),
-			support: float64(c) / float64(len(trees)),
+			support: float64(c) / float64(total),
 		})
 	}
 	// Sort by size descending so parents precede children.

@@ -1,0 +1,214 @@
+package phylotree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randomTaxa(n int) []string {
+	taxa := make([]string, n)
+	for i := range taxa {
+		taxa[i] = fmt.Sprintf("t%03d", i)
+	}
+	return taxa
+}
+
+func TestPhylo2VecTriplet(t *testing.T) {
+	tr, err := NewTree([]string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.InitTriplet(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr.Phylo2Vec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 3 || v[0] != 0 || v[1] != 0 || v[2] != 0 {
+		t.Fatalf("triplet vector = %v, want [0 0 0]", v)
+	}
+	back, err := TreeFromPhylo2Vec(tr.Taxa, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf, err := RobinsonFoulds(tr, back); err != nil || rf != 0 {
+		t.Fatalf("triplet round trip RF = %d, err = %v", rf, err)
+	}
+}
+
+func TestPhylo2VecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{4, 5, 6, 8, 13, 21, 42, 77} {
+		for rep := 0; rep < 8; rep++ {
+			tr, err := RandomTopology(randomTaxa(n), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := tr.Phylo2Vec()
+			if err != nil {
+				t.Fatalf("n=%d: encode: %v", n, err)
+			}
+			if err := ValidatePhylo2Vec(v, n); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			back, err := TreeFromPhylo2Vec(tr.Taxa, v)
+			if err != nil {
+				t.Fatalf("n=%d: decode: %v", n, err)
+			}
+			rf, err := RobinsonFoulds(tr, back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rf != 0 {
+				t.Fatalf("n=%d: round trip changed topology, RF = %d", n, rf)
+			}
+			v2, err := back.Phylo2Vec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInts(v, v2) {
+				t.Fatalf("n=%d: re-encode differs: %v vs %v", n, v, v2)
+			}
+		}
+	}
+}
+
+// TestPhylo2VecRepresentationInvariance round-trips a topology through its
+// Newick text: the parse builds a structurally different representation
+// (different anchor, ring order and internal indices), yet the vector must
+// be identical because it only depends on the unrooted topology.
+func TestPhylo2VecRepresentationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for rep := 0; rep < 20; rep++ {
+		tr, err := RandomTopology(randomTaxa(17), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := tr.Phylo2Vec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reparsed, err := ParseNewick(tr.Newick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reparsed.AlignTaxa(tr.Taxa); err != nil {
+			t.Fatal(err)
+		}
+		v2, err := reparsed.Phylo2Vec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(v, v2) {
+			t.Fatalf("reparse changed vector: %v vs %v", v, v2)
+		}
+	}
+}
+
+func TestPhylo2VecDistinguishesTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	taxa := randomTaxa(12)
+	for rep := 0; rep < 20; rep++ {
+		a, err := RandomTopology(taxa, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RandomTopology(taxa, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := RobinsonFoulds(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va, err := a.Phylo2Vec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := b.Phylo2Vec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (rf == 0) != equalInts(va, vb) {
+			t.Fatalf("RF = %d but vector equality = %v (%v vs %v)", rf, equalInts(va, vb), va, vb)
+		}
+	}
+}
+
+func TestValidatePhylo2VecErrors(t *testing.T) {
+	cases := []struct {
+		v []int
+		n int
+	}{
+		{[]int{0, 0}, 3},          // wrong length
+		{[]int{0, 1, 0}, 3},       // nonzero prefix
+		{[]int{0, 0, 0, 3}, 4},    // v[3] > 2
+		{[]int{0, 0, 0, -1}, 4},   // negative
+		{[]int{0, 0, 0, 0, 5}, 5}, // v[4] > 4
+	}
+	for _, c := range cases {
+		if err := ValidatePhylo2Vec(c.v, c.n); err == nil {
+			t.Errorf("ValidatePhylo2Vec(%v, %d) accepted invalid vector", c.v, c.n)
+		}
+	}
+	if err := ValidatePhylo2Vec([]int{0, 0, 0, 2, 4}, 5); err != nil {
+		t.Errorf("valid vector rejected: %v", err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzPhylo2VecRoundTrip drives encode→decode→re-encode over random taxa
+// counts and random topologies: the decode must reproduce the topology
+// exactly and the re-encode must be bit-identical to the first vector.
+func FuzzPhylo2VecRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint16(4))
+	f.Add(int64(62), uint16(42))
+	f.Add(int64(9), uint16(3))
+	f.Add(int64(-5), uint16(97))
+	f.Fuzz(func(t *testing.T, seed int64, rawN uint16) {
+		n := 3 + int(rawN)%126
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := RandomTopology(randomTaxa(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := tr.Phylo2Vec()
+		if err != nil {
+			t.Fatalf("encode n=%d: %v", n, err)
+		}
+		if err := ValidatePhylo2Vec(v, n); err != nil {
+			t.Fatalf("encode produced invalid vector: %v", err)
+		}
+		back, err := TreeFromPhylo2Vec(tr.Taxa, v)
+		if err != nil {
+			t.Fatalf("decode n=%d: %v", n, err)
+		}
+		rf, err := RobinsonFoulds(tr, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf != 0 {
+			t.Fatalf("round trip changed topology: RF = %d (n=%d, seed=%d)", rf, n, seed)
+		}
+		v2, err := back.Phylo2Vec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(v, v2) {
+			t.Fatalf("re-encode differs (n=%d, seed=%d)", n, seed)
+		}
+	})
+}

@@ -1,0 +1,262 @@
+package phylotree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTreeHashHandRolledEquivalents parses several Newick renderings of the
+// same 6-taxon unrooted topology — rotated around a different anchor, with
+// children swapped, with sibling order reversed — and demands one hash.
+// A genuinely different topology must hash differently.
+func TestTreeHashHandRolledEquivalents(t *testing.T) {
+	taxa := []string{"A", "B", "C", "D", "E", "F"}
+	same := []string{
+		"((A,B),(C,D),(E,F));",
+		"((B,A),(D,C),(F,E));",
+		"((C,D),(A,B),(E,F));",
+		"((E,F),(C,D),(B,A));",
+		"(A,B,((C,D),(E,F)));",
+		"(C,((A,B),(E,F)),D);",
+	}
+	h := NewTopoHasher(len(taxa))
+	var want TopoHash
+	for i, nw := range same {
+		tr, err := ParseNewick(nw)
+		if err != nil {
+			t.Fatalf("%q: %v", nw, err)
+		}
+		if err := tr.AlignTaxa(taxa); err != nil {
+			t.Fatalf("%q: %v", nw, err)
+		}
+		got, err := h.TreeHash(tr)
+		if err != nil {
+			t.Fatalf("%q: %v", nw, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("%q hashes to %v, want %v", nw, got, want)
+		}
+	}
+	other, err := ParseNewick("((A,C),(B,D),(E,F));")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.AlignTaxa(taxa); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.TreeHash(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == want {
+		t.Error("distinct topology produced the same hash")
+	}
+}
+
+// TestTreeHashMatchesPhylo2Vec checks on random tree pairs that hash
+// equality coincides with phylo2vec vector equality — both must be exact
+// topology invariants over the same taxon set.
+func TestTreeHashMatchesPhylo2Vec(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	taxa := randomTaxa(14)
+	h := NewTopoHasher(len(taxa))
+	for rep := 0; rep < 40; rep++ {
+		a, err := RandomTopology(taxa, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RandomTopology(taxa, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ha, err := h.TreeHash(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := h.TreeHash(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va, err := a.Phylo2Vec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := b.Phylo2Vec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (ha == hb) != equalInts(va, vb) {
+			t.Fatalf("hash equality %v but vector equality %v", ha == hb, equalInts(va, vb))
+		}
+	}
+}
+
+// TestTreeHashRepresentationInvariance reparses random topologies from
+// Newick (different anchor, ring order, internal indices) and requires the
+// identical fingerprint. Branch lengths are also perturbed: they must not
+// matter.
+func TestTreeHashRepresentationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	taxa := randomTaxa(23)
+	h := NewTopoHasher(len(taxa))
+	for rep := 0; rep < 20; rep++ {
+		tr, err := RandomTopology(taxa, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := h.TreeHash(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := ParseNewick(tr.Newick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := re.AlignTaxa(taxa); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range re.Edges() {
+			e.SetZ(rng.Float64())
+		}
+		got, err := h.TreeHash(re)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("reparse changed hash: %v vs %v", got, want)
+		}
+	}
+}
+
+// collectInsertionEdges mirrors the SPR candidate enumeration: all records
+// on both sides of the prune junction, unbounded radius.
+func collectInsertionEdges(ps *PrunedSubtree) []*Node {
+	out := RadiusEdgesInto(nil, ps.Q, 1<<30)
+	return RadiusEdgesInto(out, ps.R, 1<<30)
+}
+
+// TestPruneScopeCandidateHash is the load-bearing property test for the
+// incremental hash: for random trees, every prune, and every insertion
+// edge, CandidateHash must equal the full TreeHash of the tree actually
+// regrafted at that edge.
+func TestPruneScopeCandidateHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, n := range []int{4, 5, 6, 9, 15, 26} {
+		taxa := randomTaxa(n)
+		h := NewTopoHasher(n)
+		scope := NewPruneScope(h)
+		for rep := 0; rep < 6; rep++ {
+			tr, err := RandomTopology(taxa, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseHash, err := h.TreeHash(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prunes := pruneRecords(tr)
+			for _, p := range prunes {
+				ps, err := tr.Prune(p)
+				if err != nil {
+					continue // some records are not prunable (tip rings)
+				}
+				if err := scope.Reset(ps); err != nil {
+					t.Fatalf("n=%d: Reset: %v", n, err)
+				}
+				for _, at := range collectInsertionEdges(ps) {
+					got, ok := scope.CandidateHash(at)
+					if !ok {
+						t.Fatalf("n=%d: no entry for insertion edge", n)
+					}
+					if err := tr.Regraft(ps, at); err != nil {
+						t.Fatalf("n=%d: regraft: %v", n, err)
+					}
+					want, err := h.TreeHash(tr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("n=%d: CandidateHash %v != applied-tree hash %v", n, got, want)
+					}
+					// Re-prune to restore the scored state for the next
+					// candidate, exactly as the search's Regraft+Undo cycle
+					// would.
+					if _, err := tr.Prune(ps.P); err != nil {
+						t.Fatalf("n=%d: re-prune: %v", n, err)
+					}
+				}
+				if err := tr.Undo(ps); err != nil {
+					t.Fatalf("n=%d: undo: %v", n, err)
+				}
+				after, err := h.TreeHash(tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if after != baseHash {
+					t.Fatalf("n=%d: undo did not restore the topology hash", n)
+				}
+			}
+		}
+	}
+}
+
+// pruneRecords enumerates the internal ring records a full SPR sweep prunes
+// at (both directions of every edge with an internal near end).
+func pruneRecords(tr *Tree) []*Node {
+	var out []*Node
+	for _, e := range tr.Edges() {
+		if !e.IsTip() {
+			out = append(out, e)
+		}
+		if !e.Back.IsTip() {
+			out = append(out, e.Back)
+		}
+	}
+	return out
+}
+
+// TestPruneScopeDualRouteNNI checks that the same would-be topology reached
+// by two different prune/regraft routes (prune A, insert at C's edge vs
+// prune C, insert at A's edge — both realize the same NNI swap) hashes
+// identically, which is exactly the duplicate the search memo catches.
+func TestPruneScopeDualRouteNNI(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	taxa := randomTaxa(10)
+	h := NewTopoHasher(len(taxa))
+	scope := NewPruneScope(h)
+	tr, err := RandomTopology(taxa, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[TopoHash]int)
+	for _, p := range pruneRecords(tr) {
+		ps, err := tr.Prune(p)
+		if err != nil {
+			continue
+		}
+		if err := scope.Reset(ps); err != nil {
+			t.Fatal(err)
+		}
+		for _, at := range collectInsertionEdges(ps) {
+			if hh, ok := scope.CandidateHash(at); ok {
+				seen[hh]++
+			}
+		}
+		if err := tr.Undo(ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dup := 0
+	for _, c := range seen {
+		if c > 1 {
+			dup++
+		}
+	}
+	if dup == 0 {
+		t.Fatal("full SPR sweep produced no duplicate candidate topologies; memo would never hit")
+	}
+}

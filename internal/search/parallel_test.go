@@ -236,7 +236,9 @@ func TestParallelSharedCacheStressSPRCycles(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng.AttachTree(tr)
-	sc := newSearchCtx(eng, Options{Workers: 4})
+	// Memo off: every pooled score below is compared bitwise against a
+	// fresh serial recompute, which memo replay (an estimate) would break.
+	sc := newSearchCtx(eng, Options{Workers: 4, NoTopoMemo: true})
 	defer sc.close(eng)
 	if sc.shared == nil {
 		t.Fatal("pooled searchCtx did not install the shared store")
@@ -258,7 +260,7 @@ func TestParallelSharedCacheStressSPRCycles(t *testing.T) {
 		sc.cands = phylotree.RadiusEdgesInto(sc.cands[:0], ps.Q, 3)
 		sc.cands = phylotree.RadiusEdgesInto(sc.cands, ps.R, 3)
 
-		scores, err := sc.scoreInsertions(eng, sc.cands, ps.P, zSub)
+		scores, err := sc.scoreInsertions(eng, sc.cands, ps, zSub, math.Inf(1))
 		if err != nil {
 			t.Fatal(err)
 		}

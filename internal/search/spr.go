@@ -53,6 +53,22 @@ type Options struct {
 	// accounting (benchmarks and the scaling-gate tests), not for users.
 	NoSharedCache bool
 
+	// NoTopoMemo disables the content-addressed topology score memo that
+	// searches run with by default: each SPR/NNI candidate's would-be
+	// topology is hashed incrementally from the prune/regraft edit, and
+	// topologies already measured this search replay their memoized score
+	// instead of re-running the likelihood evaluation. Replay is restricted
+	// to scores two measurements confirmed stable, and to candidates that
+	// lose to the acceptance threshold by a safety margin, so the accepted
+	// moves, round count and final topology are identical to the memo-off
+	// search (the memo only deletes repeated work; see DESIGN.md "Topology
+	// memoization"). Hits/misses/evictions surface as cache.topo_* metrics.
+	NoTopoMemo bool
+
+	// TopoMemoCap bounds the memo's entry count (0 = DefaultTopoMemoCap).
+	// Eviction is FIFO and deterministic.
+	TopoMemoCap int
+
 	// Metrics, when non-nil, receives the live search series: the
 	// search.candidates_scored / search.parallel_rounds counters, the
 	// search.pool_workers / search.pool_busy / search.pool_busy_peak
@@ -136,7 +152,8 @@ func sprRound(eng *likelihood.Engine, tr *phylotree.Tree, sc *searchCtx, radius 
 
 		// Lazy SPR: score every candidate from cached directed vectors of
 		// the (fixed) pruned tree, optimizing only the subtree's branch.
-		scores, err := sc.scoreInsertions(eng, sc.cands, ps.P, zSub)
+		// current+eps is the acceptance threshold the memo probes against.
+		scores, err := sc.scoreInsertions(eng, sc.cands, ps, zSub, current+eps)
 		if err != nil {
 			stage, stageErr = "trial insertion", err
 			break

@@ -1,0 +1,209 @@
+package search
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"raxmlcell/internal/phylotree"
+)
+
+// DefaultTopoMemoCap is the memo's entry bound when Options.TopoMemoCap is
+// zero: 32k entries ≈ 1 MiB of keys+scores, far below one ancestral vector
+// table, yet enough to hold every candidate topology of several full SPR
+// rounds on alignments the size of the paper's workloads.
+const DefaultTopoMemoCap = 1 << 15
+
+// topoMemoMargin is the safety band (in log-likelihood units) between a
+// memoized score and the acceptance threshold below which a hit may stand in
+// for a fresh evaluation. A topology's lazy insertion score is not a
+// function of its topology alone — the branch lengths it inherits depend on
+// which subtree was pruned to propose it and on the smoothing and model
+// refits since it was measured, with re-measurements moving by ~28
+// log-likelihood units at the worst on the 42-taxon fixture — so the memo
+// only replays scores it has confirmed stable (see topoMemoConfirmTol), and
+// only when they lose to the threshold by more than this margin, set above
+// the worst drift ever observed on the fixture workloads. A replayed
+// candidate's true score therefore stays below the acceptance threshold, so
+// it could never have been the accepted move, which is what keeps memo-on
+// move acceptance identical to the memo-off search (see DESIGN.md "Topology
+// memoization"). Entries inside the band are rescored fresh and counted as
+// requeries.
+const topoMemoMargin = 30.0
+
+// topoMemoConfirmTol is the agreement tolerance that confirms an entry: a
+// topology's score may be replayed only after two independent measurements
+// agreed within this tolerance. Stability is per-topology — deep losers far
+// from the tree's moving parts re-measure nearly unchanged, while volatile
+// topologies near accepted moves drift by tens of units and simply never
+// confirm. Every refresh re-applies the test, so an entry that starts
+// drifting is demoted back to unconfirmed on the spot.
+const topoMemoConfirmTol = 1.0
+
+// memoEnt is one memoized candidate score. confirmed marks scores that two
+// independent measurements agreed on (within topoMemoConfirmTol) — the only
+// entries Probe will ever replay.
+type memoEnt struct {
+	ll        float64
+	confirmed bool
+}
+
+// TopoMemo is a bounded, concurrency-safe, content-addressed memo of SPR/NNI
+// candidate scores keyed by the canonical topology hash of the would-be
+// tree. Scores are stored as absolute log-likelihoods: the acceptance
+// threshold only rises as the search improves, so a memoized loser moves
+// further below it over time — stale entries get safer, not staler. Replay
+// is margin-gated and confirmation-gated (see the constants above), with a
+// guardrail that disables the memo outright if a confirmed entry is ever
+// re-measured a full margin away — the one event that could have let a
+// replayed estimate mask a would-be winner. Probes may run concurrently from
+// pool workers; inserts are serialized by the search between fan-outs.
+// Eviction is FIFO in insertion order — deterministic, so memo-on searches
+// are reproducible run to run.
+type TopoMemo struct {
+	mu   sync.RWMutex
+	ent  map[phylotree.TopoHash]memoEnt
+	ring []phylotree.TopoHash // insertion order, len == capacity
+	next int                  // next ring slot (the oldest entry once full)
+	full bool
+
+	// driftMax is the largest observed re-measurement change of any entry's
+	// score (volatile unconfirmed topologies included — the gauge shows the
+	// workload's raw volatility); confirmedDriftMax tracks confirmed entries
+	// only, the quantity the margin must dominate. disabled latches when a
+	// confirmed entry drifts by topoMemoMargin or more.
+	driftMax          float64
+	confirmedDriftMax float64
+	disabled          bool
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	requeries atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// NewTopoMemo builds a memo bounded to capacity entries (0 or negative
+// selects DefaultTopoMemoCap).
+func NewTopoMemo(capacity int) *TopoMemo {
+	if capacity <= 0 {
+		capacity = DefaultTopoMemoCap
+	}
+	return &TopoMemo{
+		ent:  make(map[phylotree.TopoHash]memoEnt, capacity),
+		ring: make([]phylotree.TopoHash, capacity),
+	}
+}
+
+// Probe looks up the candidate topology h against the current acceptance
+// threshold limit. It returns (score, true) — and the caller skips the
+// likelihood evaluation — only when the memoized score is confirmed stable
+// AND lies more than the safety margin below limit, so the skipped candidate
+// could not have been the accepted move. Known-but-unconfirmed and
+// known-but-too-close entries report false and count as requeries (their
+// fresh rescore is the memo's stability evidence); absent entries count as
+// misses.
+func (m *TopoMemo) Probe(h phylotree.TopoHash, limit float64) (float64, bool) {
+	m.mu.RLock()
+	ent, ok := m.ent[h]
+	m.mu.RUnlock()
+	if !ok {
+		m.misses.Add(1)
+		return 0, false
+	}
+	if !ent.confirmed || ent.ll >= limit-topoMemoMargin {
+		m.requeries.Add(1)
+		return 0, false
+	}
+	m.hits.Add(1)
+	return ent.ll, true
+}
+
+// Insert memoizes a freshly measured candidate score, evicting the oldest
+// entry when the memo is full. Re-inserting a known topology refreshes its
+// score in place and re-applies the stability test: agreement within
+// topoMemoConfirmTol confirms the entry (or keeps it confirmed), larger
+// drift demotes it to unconfirmed, and drift of a full margin on a
+// *confirmed* entry — the sole event that could have let a replay mask a
+// would-be winner — clears the memo and disables it for the rest of the
+// search. Disabling only causes more fresh scoring, exactly the memo-off
+// behavior, so the degradation is always safe.
+func (m *TopoMemo) Insert(h phylotree.TopoHash, ll float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.disabled {
+		return
+	}
+	if old, exists := m.ent[h]; exists {
+		d := math.Abs(ll - old.ll)
+		if d > m.driftMax {
+			m.driftMax = d
+		}
+		if old.confirmed {
+			if d > m.confirmedDriftMax {
+				m.confirmedDriftMax = d
+			}
+			if d >= topoMemoMargin {
+				// A score two measurements agreed on just moved across the
+				// entire safety band: the stability assumption is broken on
+				// this workload. Degrade to memo-off behavior.
+				m.disabled = true
+				clear(m.ent)
+				return
+			}
+		}
+		m.ent[h] = memoEnt{ll: ll, confirmed: d <= topoMemoConfirmTol}
+		return
+	}
+	if m.full {
+		delete(m.ent, m.ring[m.next])
+		m.evictions.Add(1)
+	}
+	m.ent[h] = memoEnt{ll: ll}
+	m.ring[m.next] = h
+	m.next++
+	if m.next == len(m.ring) {
+		m.next = 0
+		m.full = true
+	}
+}
+
+// MaxDrift reports the largest observed re-measurement change of any
+// memoized score (confirmed or not), and whether the guardrail tripped and
+// disabled the memo.
+func (m *TopoMemo) MaxDrift() (drift float64, disabled bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.driftMax, m.disabled
+}
+
+// ConfirmedDrift reports the largest observed re-measurement change of a
+// confirmed entry — the quantity the safety margin must dominate for replays
+// to be exact (the guardrail enforces it at topoMemoMargin).
+func (m *TopoMemo) ConfirmedDrift() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.confirmedDriftMax
+}
+
+// Disabled reports whether the drift guardrail tripped. The search checks it
+// once per fan-out to stop paying for hashing and probing entirely once the
+// memo can no longer replay anything.
+func (m *TopoMemo) Disabled() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.disabled
+}
+
+// Len reports the current entry count.
+func (m *TopoMemo) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.ent)
+}
+
+// Stats snapshots the lifetime counters: hits (evaluations skipped), misses
+// (unknown topologies), requeries (known but unconfirmed or inside the
+// safety margin, so rescored), and evictions.
+func (m *TopoMemo) Stats() (hits, misses, requeries, evictions uint64) {
+	return m.hits.Load(), m.misses.Load(), m.requeries.Load(), m.evictions.Load()
+}

@@ -1,0 +1,362 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"raxmlcell/internal/likelihood"
+	"raxmlcell/internal/obs"
+	"raxmlcell/internal/parsimony"
+	"raxmlcell/internal/phylotree"
+	"raxmlcell/internal/seqsim"
+)
+
+// TestTopoMemoProbeInsert pins the probe semantics: unknown hashes miss;
+// memoized scores replay only once two measurements agreed within the
+// confirmation tolerance AND the absolute score loses to the probe-time
+// limit by more than the safety margin; known-but-unconfirmed and in-band
+// entries count as requeries and are not replayed; re-inserting refreshes
+// the score in place without consuming a ring slot.
+func TestTopoMemoProbeInsert(t *testing.T) {
+	m := NewTopoMemo(8)
+	h := phylotree.TopoHash{0xdead, 0xbeef}
+	const limit = -100.0
+	score := limit - 2*topoMemoMargin
+
+	if _, ok := m.Probe(h, limit); ok {
+		t.Fatal("probe of empty memo hit")
+	}
+
+	// Measured once, far below the limit — but a single measurement is not
+	// stability evidence: requery until confirmed.
+	m.Insert(h, score)
+	if _, ok := m.Probe(h, limit); ok {
+		t.Fatal("unconfirmed entry replayed")
+	}
+
+	// The requery's fresh rescore agrees: the entry confirms and replays.
+	m.Insert(h, score)
+	est, ok := m.Probe(h, limit)
+	if !ok || est != score {
+		t.Fatalf("confirmed probe = (%g, %v), want (%g, true)", est, ok, score)
+	}
+	// Scores are absolute: a threshold that has risen (the search improved)
+	// moves the entry further below the margin, so it still replays...
+	if est, ok := m.Probe(h, limit+50); !ok || est != score {
+		t.Fatalf("raised-limit probe = (%g, %v), want (%g, true)", est, ok, score)
+	}
+	// ...while a threshold near the stored score demotes it to a requery (a
+	// potential winner is never decided on a replayed value).
+	if _, ok := m.Probe(h, score+topoMemoMargin/2); ok {
+		t.Fatal("in-band entry replayed")
+	}
+
+	// Refreshing within the tolerance: no new ring slot, stays confirmed,
+	// the new score replays.
+	m.Insert(h, score+topoMemoConfirmTol/2)
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after in-place refresh, want 1", m.Len())
+	}
+	if est, ok := m.Probe(h, limit); !ok || est != score+topoMemoConfirmTol/2 {
+		t.Fatalf("refreshed probe = (%g, %v), want (%g, true)", est, ok, score+topoMemoConfirmTol/2)
+	}
+
+	hits, misses, requeries, evictions := m.Stats()
+	if hits != 3 || misses != 1 || requeries != 2 || evictions != 0 {
+		t.Fatalf("stats = (%d hits, %d misses, %d requeries, %d evictions), want (3, 1, 2, 0)",
+			hits, misses, requeries, evictions)
+	}
+}
+
+// TestTopoMemoFIFOEviction fills a capacity-2 memo with three distinct
+// confirmed topologies and checks that the oldest entry — and only it — was
+// evicted, in insertion order, independent of hash values; refreshes consume
+// no ring slots.
+func TestTopoMemoFIFOEviction(t *testing.T) {
+	m := NewTopoMemo(2)
+	const limit = 0.0
+	score := limit - 3*topoMemoMargin
+	h1 := phylotree.TopoHash{1, 1}
+	h2 := phylotree.TopoHash{2, 2}
+	h3 := phylotree.TopoHash{3, 3}
+
+	m.Insert(h1, score)
+	m.Insert(h1, score) // confirm: refresh takes no slot
+	m.Insert(h2, score)
+	m.Insert(h2, score)
+	m.Insert(h3, score) // evicts h1 (FIFO)
+	m.Insert(h3, score)
+
+	if _, ok := m.Probe(h1, limit); ok {
+		t.Error("oldest entry h1 survived eviction")
+	}
+	for _, h := range []phylotree.TopoHash{h2, h3} {
+		if _, ok := m.Probe(h, limit); !ok {
+			t.Errorf("entry %v evicted out of FIFO order", h)
+		}
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if _, _, _, evictions := m.Stats(); evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+}
+
+// TestTopoMemoDriftGuardrail pins the demote/disable ladder: drift beyond
+// the confirmation tolerance demotes the entry back to unconfirmed (the memo
+// stays live — volatility is per-topology), a volatile topology that settles
+// re-confirms, and a full-margin jump on a *confirmed* entry — the one event
+// that could have let a replay mask a would-be winner — clears the memo and
+// disables it for the rest of the search.
+func TestTopoMemoDriftGuardrail(t *testing.T) {
+	m := NewTopoMemo(8)
+	h := phylotree.TopoHash{7, 7}
+	volatile := phylotree.TopoHash{8, 8}
+	const limit = 0.0
+	score := limit - 4*topoMemoMargin
+
+	// A volatile topology never confirms, however often it is measured —
+	// and unconfirmed drift, however large, never trips the guardrail.
+	m.Insert(volatile, score)
+	m.Insert(volatile, score+3*topoMemoMargin)
+	m.Insert(volatile, score)
+	if _, ok := m.Probe(volatile, limit); ok {
+		t.Fatal("volatile entry replayed")
+	}
+	if drift, disabled := m.MaxDrift(); drift != 3*topoMemoMargin || disabled {
+		t.Fatalf("MaxDrift = (%g, %v), want (%g, false)", drift, disabled, 3*topoMemoMargin)
+	}
+	if cd := m.ConfirmedDrift(); cd != 0 {
+		t.Fatalf("ConfirmedDrift = %g after unconfirmed drift, want 0", cd)
+	}
+	// Once it settles — two agreeing measurements — it replays again.
+	m.Insert(volatile, score)
+	if _, ok := m.Probe(volatile, limit); !ok {
+		t.Fatal("settled entry did not replay")
+	}
+
+	// Confirmed drift above the tolerance but below the margin: demoted,
+	// recorded, memo stays live.
+	m.Insert(h, score)
+	m.Insert(h, score) // confirm
+	m.Insert(h, score+2*topoMemoConfirmTol)
+	if cd := m.ConfirmedDrift(); cd != 2*topoMemoConfirmTol {
+		t.Fatalf("ConfirmedDrift = %g, want %g", cd, 2*topoMemoConfirmTol)
+	}
+	if _, ok := m.Probe(h, limit); ok {
+		t.Fatal("demoted entry replayed")
+	}
+	if m.Disabled() {
+		t.Fatal("sub-margin confirmed drift disabled the memo")
+	}
+
+	// A confirmed entry jumping the full margin: clears and disables.
+	m.Insert(h, score+2*topoMemoConfirmTol) // re-confirm
+	m.Insert(h, score+2*topoMemoConfirmTol+topoMemoMargin)
+	if !m.Disabled() {
+		t.Fatal("full-margin confirmed drift did not disable")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("disabled memo holds %d entries, want 0", m.Len())
+	}
+	if _, ok := m.Probe(volatile, limit); ok {
+		t.Fatal("disabled memo replayed a score")
+	}
+	m.Insert(volatile, score)
+	if m.Len() != 0 {
+		t.Fatal("disabled memo accepted an insert")
+	}
+}
+
+// TestTopoMemoEquivalenceGate42SC is the memo's acceptance gate: on the
+// 42_SC fixture, the memo-on search must replay the exact move sequence of
+// the memo-off search — same accepted-move and round counts, same final
+// log-likelihood (1e-9 relative), RF distance zero — while actually
+// skipping work (cache.topo_hits > 0) and scoring strictly fewer fresh
+// candidates (search.candidates_scored). Both serial and pooled, since the
+// pooled path probes the memo concurrently from workers.
+func TestTopoMemoEquivalenceGate42SC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full SPR searches on 42 taxa")
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			regOff := obs.NewRegistry()
+			off, _ := runSPR42SCOpts(t, Options{Workers: workers, NoTopoMemo: true, Metrics: regOff})
+			regOn := obs.NewRegistry()
+			on, _ := runSPR42SCOpts(t, Options{Workers: workers, Metrics: regOn})
+
+			if off.Moves != on.Moves || off.Rounds != on.Rounds {
+				t.Errorf("search path diverged: memo-off %d moves/%d rounds, memo-on %d moves/%d rounds",
+					off.Moves, off.Rounds, on.Moves, on.Rounds)
+			}
+			if math.Abs(off.LogL-on.LogL) > 1e-9*math.Max(1, math.Abs(off.LogL)) {
+				t.Errorf("memo-on logL %.12f != memo-off %.12f", on.LogL, off.LogL)
+			}
+			rf, err := phylotree.RobinsonFoulds(off.Tree, on.Tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rf != 0 {
+				t.Errorf("topologies diverged: RF=%d", rf)
+			}
+
+			onSnap := regOn.Snapshot()
+			hits, ok := onSnap.CounterValue("cache.topo_hits")
+			if !ok || hits == 0 {
+				t.Errorf("cache.topo_hits = %d, %v — memo never replayed a score", hits, ok)
+			}
+			scoredOn, _ := onSnap.CounterValue("search.candidates_scored")
+			offSnap := regOff.Snapshot()
+			scoredOff, _ := offSnap.CounterValue("search.candidates_scored")
+			if scoredOn >= scoredOff {
+				t.Errorf("memo-on scored %d candidates, memo-off %d — no evaluations were skipped",
+					scoredOn, scoredOff)
+			}
+			// Every skipped evaluation is a hit: the off-run total must be
+			// accounted for by fresh scores plus replays (hits can exceed the
+			// difference only if the off run skipped detached edges the on
+			// run also skipped — never the other way).
+			if scoredOn+hits < scoredOff {
+				t.Errorf("accounting gap: %d fresh + %d hits < %d memo-off scores",
+					scoredOn, hits, scoredOff)
+			}
+			if rate, ok := onSnap.GaugeValue("cache.topo_hit_rate"); !ok || rate <= 0 || rate > 1 {
+				t.Errorf("cache.topo_hit_rate = %g, %v — want in (0, 1]", rate, ok)
+			}
+		})
+	}
+}
+
+// TestTopoMemoEquivalenceGate42SCFullSearch runs the gate at the CLI's
+// default search regime — Radius 5, up to 10 rounds, AlphaOpt — where
+// between-round smoothing, alpha refits and route-dependent branch
+// inheritance shift re-measured scores by several log-likelihood units (the
+// cache.topo_drift_max gauge shows it). The calibrated margin must keep the
+// memo exact anyway: identical moves, rounds, final topology and logL, with
+// the memo still replaying deeply-losing known topologies.
+func TestTopoMemoEquivalenceGate42SCFullSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full default-regime searches on 42 taxa")
+	}
+	pat := load42SC(t)
+	run := func(noMemo bool, reg *obs.Registry) *Result {
+		t.Helper()
+		start, err := parsimony.BuildStepwise(pat, rand.New(rand.NewSource(777)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := likelihood.NewEngine(pat, seqsim.DefaultModel(), likelihood.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(eng, start, Options{
+			Radius: 5, MaxRounds: 10, SmoothPasses: 4, Epsilon: 0.01,
+			AlphaOpt: true, NoTopoMemo: noMemo, Metrics: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	regOff := obs.NewRegistry()
+	off := run(true, regOff)
+	regOn := obs.NewRegistry()
+	on := run(false, regOn)
+
+	if off.Moves != on.Moves || off.Rounds != on.Rounds {
+		t.Errorf("search path diverged: memo-off %d moves/%d rounds, memo-on %d moves/%d rounds",
+			off.Moves, off.Rounds, on.Moves, on.Rounds)
+	}
+	if math.Abs(off.LogL-on.LogL) > 1e-9*math.Max(1, math.Abs(off.LogL)) {
+		t.Errorf("memo-on logL %.12f != memo-off %.12f", on.LogL, off.LogL)
+	}
+	rf, err := phylotree.RobinsonFoulds(off.Tree, on.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf != 0 {
+		t.Errorf("topologies diverged: RF=%d", rf)
+	}
+	snap := regOn.Snapshot()
+	if hits, ok := snap.CounterValue("cache.topo_hits"); !ok || hits == 0 {
+		t.Errorf("cache.topo_hits = %d, %v — memo never replayed a score", hits, ok)
+	}
+	scoredOn, _ := snap.CounterValue("search.candidates_scored")
+	offSnap := regOff.Snapshot()
+	scoredOff, _ := offSnap.CounterValue("search.candidates_scored")
+	if scoredOn >= scoredOff {
+		t.Errorf("memo-on scored %d candidates, memo-off %d — no evaluations were skipped",
+			scoredOn, scoredOff)
+	}
+}
+
+// TestTopoMemoConcurrentStress exercises the memo under the race detector
+// two ways: raw concurrent Probe/Insert traffic on one memo (the lock
+// discipline in isolation), then a pooled SPR search with a deliberately
+// tiny memo capacity, so pool workers probe concurrently while evictions
+// churn the ring between fan-outs.
+func TestTopoMemoConcurrentStress(t *testing.T) {
+	m := NewTopoMemo(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				h := phylotree.TopoHash{rng.Uint64() % 97, rng.Uint64() % 97}
+				if g%2 == 0 {
+					// Scores span under the confirmation tolerance, so
+					// entries confirm and refresh without ever generating
+					// margin-level confirmed drift.
+					m.Insert(h, -50-rng.Float64()*topoMemoConfirmTol/2)
+				} else {
+					m.Probe(h, -40)
+					m.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses, requeries, _ := m.Stats()
+	if hits+misses+requeries == 0 {
+		t.Fatal("stress recorded no probes")
+	}
+	if _, disabled := m.MaxDrift(); disabled {
+		t.Fatal("bounded-drift stress tripped the guardrail")
+	}
+
+	// Real workload: a pooled search whose memo holds only 32 entries, so
+	// the FIFO ring wraps and probes race (read-locked) against inserts
+	// landing between fan-outs, while workers hash through the shared
+	// read-only PruneScope.
+	pat, _, mdl := simulated(t, 23, 14, 300)
+	start, err := parsimony.BuildStepwise(pat, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := likelihood.NewEngine(pat, mdl, likelihood.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	res, err := Run(eng, start, Options{
+		Workers: 4, TopoMemoCap: 32, Metrics: reg,
+		Radius: 4, MaxRounds: 3, SmoothPasses: 2, Epsilon: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogL >= 0 {
+		t.Fatalf("implausible logL %g", res.LogL)
+	}
+	snap := reg.Snapshot()
+	if ev, ok := snap.CounterValue("cache.topo_evictions"); !ok || ev == 0 {
+		t.Errorf("cache.topo_evictions = %d, %v — 32-entry memo never wrapped", ev, ok)
+	}
+}
